@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+The benches regenerate the paper's tables and figures. Because every
+experiment is a full closed-loop simulation, the campaign used by the
+table benches is executed once per session (session-scoped fixture) at a
+reduced geometric scale, and each bench then reduces it to its table.
+
+Knobs (environment variables):
+
+* ``REPRO_BENCH_SCALE``    — mission geometry scale (default 0.12).
+* ``REPRO_BENCH_MISSIONS`` — comma-separated mission ids (default
+  ``2,5,10``: a straight slow courier, a zig-zag delivery, and the fast
+  turning mission — one per speed regime).
+
+Set ``REPRO_BENCH_MISSIONS=1,2,3,4,5,6,7,8,9,10`` and
+``REPRO_BENCH_SCALE=1.0`` to reproduce at full paper scale (hours).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import CampaignConfig, run_campaign
+
+
+def _bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.12"))
+
+
+def _bench_missions() -> tuple[int, ...]:
+    raw = os.environ.get("REPRO_BENCH_MISSIONS", "2,5,10")
+    return tuple(int(x) for x in raw.split(","))
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> CampaignConfig:
+    return CampaignConfig(scale=_bench_scale(), mission_ids=_bench_missions())
+
+
+@pytest.fixture(scope="session")
+def campaign(bench_config):
+    """The shared fault-injection campaign behind Tables II-IV."""
+    return run_campaign(bench_config)

@@ -1,0 +1,33 @@
+"""Bench: regenerate Figure 3 — fixed value into Acc of the fastest drone.
+
+Paper reference (Fig. 3): a random-but-constant value injected into the
+accelerometer of the 25 km/h drone for 30 s, mid-leg; the drone leaves
+its trajectory and crashes.
+"""
+
+from repro.core.figures import FIGURE_3, render_ascii_trajectory, run_figure_scenario
+from repro.flightstack.commander import MissionOutcome
+
+
+def test_fig3_acc_fixed_value_crash(benchmark, bench_config):
+    result = benchmark.pedantic(
+        run_figure_scenario,
+        args=(FIGURE_3,),
+        kwargs={"scale": bench_config.scale},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_ascii_trajectory(result))
+
+    # The paper's outcome: the drone does not complete the mission.
+    assert result.outcome != MissionOutcome.COMPLETED
+    # It physically departs the assigned route (off-trajectory excursion).
+    from repro.missions.plan import distance_to_polyline
+
+    max_true_dev = max(
+        distance_to_polyline(p, list(result.route_ned)) for p in result.flown_true_ned
+    )
+    assert max_true_dev > 5.0
+    # And the flight ends early relative to the injection-free route.
+    assert result.times_s[-1] > result.injection_start_s

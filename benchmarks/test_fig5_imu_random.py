@@ -1,0 +1,35 @@
+"""Bench: regenerate Figure 5 — random values into the whole IMU.
+
+Paper reference (Fig. 5): random values injected into both the
+accelerometer and the gyrometer for 30 s shortly before a waypoint; the
+drone is lost very quickly and "very forcefully" because neither sensor
+is available to stabilise it.
+"""
+
+from repro.core.figures import FIGURE_3, FIGURE_5, render_ascii_trajectory, run_figure_scenario
+from repro.flightstack.commander import MissionOutcome
+
+
+def test_fig5_imu_random_fast_loss(benchmark, bench_config):
+    result = benchmark.pedantic(
+        run_figure_scenario,
+        args=(FIGURE_5,),
+        kwargs={"scale": bench_config.scale},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_ascii_trajectory(result))
+
+    assert result.outcome != MissionOutcome.COMPLETED
+    # "Crashes very quickly": the time from injection to end of flight is
+    # short — the vehicle is lost within seconds of the fault window
+    # opening, well before the 30 s injection even completes.
+    loss_latency = result.times_s[-1] - result.injection_start_s
+    assert loss_latency < FIGURE_5.duration_s
+
+    # Compare against Fig. 3 (accel-only): the full-IMU loss is at least
+    # as fast as the accelerometer-only loss on the same scale.
+    acc_result = run_figure_scenario(FIGURE_3, scale=bench_config.scale)
+    acc_latency = acc_result.times_s[-1] - acc_result.injection_start_s
+    assert loss_latency <= acc_latency + 5.0

@@ -1,0 +1,35 @@
+"""Bench: the gold-run baseline (Table II/III first row).
+
+Paper reference: 10 fault-free missions averaging 491.26 s and 3.65 km
+at full scale, with zero bubble violations. This bench times one full
+closed-loop gold mission end to end (physics + sensors + EKF + control
+at 100 Hz) and checks the baseline invariants on all benched missions.
+"""
+
+from repro import UavSystem, valencia_missions
+
+
+def test_gold_run_baseline(benchmark, bench_config):
+    plans = {p.mission_id: p for p in valencia_missions(scale=bench_config.scale)}
+    mission_ids = bench_config.mission_ids
+
+    def fly_gold(mission_id):
+        return UavSystem(plans[mission_id]).run()
+
+    result = benchmark.pedantic(fly_gold, args=(mission_ids[0],), rounds=1, iterations=1)
+    results = [result] + [fly_gold(mid) for mid in mission_ids[1:]]
+
+    print()
+    print(f"{'mission':>8} {'outcome':>10} {'duration (s)':>13} {'distance (km)':>14} {'violations':>11}")
+    for mid, res in zip(mission_ids, results):
+        print(
+            f"{mid:>8} {res.outcome.value:>10} {res.flight_duration_s:>13.2f} "
+            f"{res.distance_km:>14.3f} {res.inner_violations:>11d}"
+        )
+
+    for res in results:
+        assert res.completed
+        assert res.inner_violations == 0
+        assert res.outer_violations == 0
+        assert res.crash_time_s is None
+        assert res.failsafe_time_s is None

@@ -1,0 +1,47 @@
+"""Bench: regenerate Table III — averages grouped by fault type.
+
+Paper reference (Table III): Acc Zeros/Noise complete most (60-67.5%)
+despite high violations, Gyro Zeros is the most survivable gyro fault
+(40%), the violent gyro faults (Min/Max/Random) are near-total failures,
+and full-IMU faults are the worst group with several 0% rows.
+"""
+
+from repro import render_table, table3_by_fault
+
+
+def _pct(rows, label):
+    return {r.label: r for r in rows}[label].completed_pct
+
+
+def test_table3_by_fault(benchmark, campaign):
+    rows = benchmark.pedantic(table3_by_fault, args=(campaign,), rounds=3, iterations=1)
+    print()
+    print(render_table(rows, "TABLE III: average summary grouped by fault type"))
+
+    assert rows[0].label == "Gold Run"
+    assert rows[0].completed_pct == 100.0
+    assert len(rows) == 22  # gold + 21 fault rows
+
+    # Benign accelerometer faults survive far more often than violent ones.
+    acc_benign = max(_pct(rows, "Acc Zeros"), _pct(rows, "Acc Noise"))
+    acc_violent = max(
+        _pct(rows, "Acc Min"), _pct(rows, "Acc Max"), _pct(rows, "Acc Random")
+    )
+    assert acc_benign > acc_violent
+
+    # Gyro Zeros is the most survivable gyro fault (paper Sec. IV-D:
+    # "Zeros were better handled ... than the Min and Max values").
+    gyro_rows = [r for r in rows if r.label.startswith("Gyro")]
+    best_gyro = max(gyro_rows, key=lambda r: r.completed_pct)
+    assert best_gyro.label in ("Gyro Zeros", "Gyro Freeze")
+    assert _pct(rows, "Gyro Zeros") > _pct(rows, "Gyro Min")
+    assert _pct(rows, "Gyro Min") <= 20.0
+    assert _pct(rows, "Gyro Max") <= 20.0
+    assert _pct(rows, "Gyro Random") <= 20.0
+
+    # Full-IMU faults are the worst component overall.
+    imu_avg = sum(r.completed_pct for r in rows if r.label.startswith("IMU")) / 7.0
+    acc_avg = sum(r.completed_pct for r in rows if r.label.startswith("Acc")) / 7.0
+    gyro_avg = sum(r.completed_pct for r in gyro_rows) / 7.0
+    assert imu_avg < acc_avg
+    assert imu_avg <= gyro_avg + 1e-9

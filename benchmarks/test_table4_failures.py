@@ -1,0 +1,43 @@
+"""Bench: regenerate Table IV — mission failure / crash / failsafe rates.
+
+Paper reference (Table IV): even 2 s injections fail ~80% of missions;
+failure rises with duration (~90% at 30 s). Per component, Acc fails
+least (73%), Gyro more (87.5%), and the full IMU most (96%), with the
+IMU showing the largest failsafe share (52.8%) because either sensor's
+threshold can trigger it.
+"""
+
+from repro import render_table, table4_failure_analysis
+
+
+def _row(rows, label):
+    return {r.label: r for r in rows}[label]
+
+
+def test_table4_failure_analysis(benchmark, campaign):
+    rows = benchmark.pedantic(
+        table4_failure_analysis, args=(campaign,), rounds=3, iterations=1
+    )
+    print()
+    print(render_table(rows, "TABLE IV: mission failure analysis"))
+
+    gold = _row(rows, "Gold Run")
+    assert gold.failed_pct == 0.0
+
+    # Even the shortest injection fails most missions (paper: 80% at 2 s).
+    assert _row(rows, "2 seconds").failed_pct > 50.0
+    # Longest injection fails at least as much as the shortest.
+    assert _row(rows, "30 seconds").failed_pct >= _row(rows, "2 seconds").failed_pct
+
+    acc = _row(rows, "Acc")
+    gyro = _row(rows, "Gyro")
+    imu = _row(rows, "IMU")
+    # Component ordering: Acc < Gyro < IMU failure rates.
+    assert acc.failed_pct < gyro.failed_pct < imu.failed_pct
+    assert imu.failed_pct > 90.0
+
+    # Crash + failsafe split always accounts for all failures.
+    for row in rows:
+        if row.failed_pct > 0.0:
+            total = row.crash_pct_of_failed + row.failsafe_pct_of_failed
+            assert abs(total - 100.0) < 1e-6

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Inspect the two-layer bubble (paper Fig. 2 and Eqs. 1-3) over a flight.
+
+Flies one mission twice (clean and with an 'Acc Zeros' fault) and prints
+a per-tracking-instance trace of the inner/outer bubble radii and the
+drone's deviation from its assigned route, marking violations — the
+exact signal U-space surveillance would see.
+
+Run: ``python examples/bubble_analysis.py``
+"""
+
+from repro import FaultSpec, FaultTarget, FaultType, UavSystem, valencia_missions
+from repro.uspace import inner_bubble_radius
+
+
+def fly_and_report(plan, fault=None, every_s=5):
+    label = fault.label if fault else "Gold"
+    system = UavSystem(plan, fault=fault)
+    result = system.run()
+    monitor = system.bubble_monitor
+    print(f"\n--- {label}: outcome={result.outcome.value}, "
+          f"inner violations={result.inner_violations}, "
+          f"outer violations={result.outer_violations} ---")
+    print(f"{'t (s)':>7} {'deviation (m)':>14} {'inner (m)':>10} {'outer (m)':>10}  flags")
+    for point in monitor.history[::every_s]:
+        flags = ""
+        if point.deviation_m > point.inner_radius_m:
+            flags += " INNER"
+        if point.deviation_m > point.outer_radius_m:
+            flags += " OUTER"
+        print(
+            f"{point.time_s:>7.1f} {point.deviation_m:>14.2f} "
+            f"{point.inner_radius_m:>10.2f} {point.outer_radius_m:>10.2f} {flags}"
+        )
+    return result
+
+
+def main():
+    plan = valencia_missions(scale=0.15)[3]
+    drone = plan.drone
+
+    # Eq. 1 inputs for this drone.
+    d_m = drone.max_distance_per_track_m(1.0)
+    inner = inner_bubble_radius(drone.dimension_m, drone.safety_distance_m, d_m)
+    print(f"Drone {drone.name}: D_o={drone.dimension_m} m, "
+          f"D_s={drone.safety_distance_m} m, D_m={d_m:.2f} m")
+    print(f"Eq. 1 inner bubble radius = D_o + max(D_s, D_m) = {inner:.2f} m")
+
+    fly_and_report(plan)
+    fault = FaultSpec(FaultType.ZEROS, FaultTarget.ACCEL, start_time_s=25.0, duration_s=10.0)
+    fly_and_report(plan, fault)
+
+    print(
+        "\nThe gold run never leaves the inner bubble (the paper's 0/0"
+        "\nbaseline row); during the fault window the reported position"
+        "\ndiverges and U-space sees a burst of bubble violations."
+    )
+
+
+if __name__ == "__main__":
+    main()

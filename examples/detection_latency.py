@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Measure fault-detection and failsafe latencies per fault type.
+
+The paper observes that "failsafe takes a minimum of 1900 ms" (the
+redundant-sensor isolation stage) and that 80% of missions already fail
+with 2 s injections — concluding that quick detection matters. This
+example quantifies the timeline for a representative fault slice:
+time from injection to detection (isolation start), to failsafe
+engagement, and to vehicle loss when the crash wins the race.
+
+Run: ``python examples/detection_latency.py``
+"""
+
+from repro import FaultSpec, FaultTarget, FaultType, valencia_missions
+from repro.core.detection import measure_detection, render_detection_report
+
+
+def main():
+    plan = valencia_missions(scale=0.12)[3]
+    inject = 22.0
+    faults = [
+        FaultSpec(FaultType.MIN, FaultTarget.GYRO, inject, 2.0, seed=1),
+        FaultSpec(FaultType.RANDOM, FaultTarget.GYRO, inject, 30.0, seed=2),
+        FaultSpec(FaultType.ZEROS, FaultTarget.GYRO, inject, 30.0, seed=3),
+        FaultSpec(FaultType.MAX, FaultTarget.ACCEL, inject, 10.0, seed=4),
+        FaultSpec(FaultType.ZEROS, FaultTarget.ACCEL, inject, 10.0, seed=5),
+        FaultSpec(FaultType.RANDOM, FaultTarget.IMU, inject, 30.0, seed=6),
+        FaultSpec(FaultType.FREEZE, FaultTarget.IMU, inject, 2.0, seed=7),
+    ]
+    records = [measure_detection(plan, fault) for fault in faults]
+    print(render_detection_report(
+        records, f"Detection timeline (mission {plan.mission_id}, injection at t={inject}s)"
+    ))
+    print(
+        "\nNotes: 'detect' is when failure detection debounced (isolation"
+        "\nstarts); 'failsafe' adds the >=1.9 s isolation stage the paper"
+        "\nmeasured; 'loss' is ground impact. Violent faults often crash"
+        "\nbefore isolation completes - the paper's crash-dominated short"
+        "\ninjections. A '-' means the event never happened in that run."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Recreate the paper's trajectory figures (Figs. 3-5) in the terminal.
+
+Each figure injects one specific fault into one specific mission and
+plots the planned route against the flown trajectory:
+
+* Fig. 3 - fixed (random constant) value into the accelerometer of the
+  fastest drone (25 km/h), mid-leg, 30 s: off-trajectory crash.
+* Fig. 4 - random values into the gyrometer just before a waypoint of a
+  turning mission, 30 s: cannot stabilise for the turn, failsafe.
+* Fig. 5 - random values into the whole IMU, 30 s: fast forceful loss.
+
+Run: ``python examples/fault_scenario.py [--scale 0.15] [--figure 3|4|5]``
+"""
+
+import argparse
+
+from repro.core.figures import (
+    FIGURE_3,
+    FIGURE_4,
+    FIGURE_5,
+    render_ascii_trajectory,
+    run_figure_scenario,
+)
+
+FIGURES = {"3": FIGURE_3, "4": FIGURE_4, "5": FIGURE_5}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.15,
+                        help="mission geometry scale (1.0 = paper scale)")
+    parser.add_argument("--figure", choices=sorted(FIGURES), default=None,
+                        help="render one figure only (default: all three)")
+    args = parser.parse_args()
+
+    chosen = [FIGURES[args.figure]] if args.figure else list(FIGURES.values())
+    for scenario in chosen:
+        print(f"\n=== Figure {scenario.name[-1]}: {scenario.description} ===")
+        result = run_figure_scenario(scenario, scale=args.scale)
+        print(render_ascii_trajectory(result))
+        print(
+            f"injection window: t={result.injection_start_s:.0f}s to "
+            f"t={result.injection_end_s:.0f}s, "
+            f"flight ended at t={result.times_s[-1]:.1f}s"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project metadata lives in ``pyproject.toml``; this file only exists
+so ``pip install -e .`` works on offline machines where the PEP 660
+editable path (which needs ``wheel``) is unavailable:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

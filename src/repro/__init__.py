@@ -1,0 +1,78 @@
+"""repro: a full reproduction of the DSN 2024 study
+"A Comprehensive Study on Drones Resilience in the Presence of
+Inertial Measurement Unit Faults" (Khan, Ivaki, Madeira).
+
+Public API surface:
+
+* :class:`~repro.system.UavSystem` — one vehicle + PX4-like stack.
+* :func:`~repro.missions.valencia.valencia_missions` — the 10-mission
+  U-space scenario.
+* :class:`~repro.core.faults.FaultSpec` / :class:`FaultType` /
+  :class:`FaultTarget` — the IMU fault model (paper Table I).
+* :func:`~repro.core.campaign.run_campaign` +
+  :class:`~repro.core.campaign.CampaignConfig` — the 850-case
+  experiment campaign.
+* :func:`~repro.core.tables.table2_by_duration` /
+  :func:`table3_by_fault` / :func:`table4_failure_analysis` — the
+  paper's result tables.
+"""
+
+from repro.system import UavSystem, SystemConfig, MissionResult
+from repro.missions import valencia_missions, MissionPlan, DroneSpec, Waypoint
+from repro.core import (
+    FaultSpec,
+    FaultType,
+    FaultTarget,
+    FAULT_MODEL_CATALOG,
+    SensorFaultInjector,
+    build_experiment_matrix,
+    ExperimentSpec,
+    ExperimentResult,
+    CampaignResult,
+    table2_by_duration,
+    table3_by_fault,
+    table4_failure_analysis,
+    render_table,
+)
+from repro.core.campaign import CampaignConfig, run_campaign, run_experiment, quick_config
+from repro.core.io import save_campaign, load_campaign, export_csv
+from repro.core.analysis import check_paper_shapes, render_shape_checks, severity_ranking
+from repro.flightstack import MissionOutcome, FlightParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "UavSystem",
+    "SystemConfig",
+    "MissionResult",
+    "valencia_missions",
+    "MissionPlan",
+    "DroneSpec",
+    "Waypoint",
+    "FaultSpec",
+    "FaultType",
+    "FaultTarget",
+    "FAULT_MODEL_CATALOG",
+    "SensorFaultInjector",
+    "CampaignConfig",
+    "run_campaign",
+    "run_experiment",
+    "build_experiment_matrix",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "CampaignResult",
+    "table2_by_duration",
+    "table3_by_fault",
+    "table4_failure_analysis",
+    "render_table",
+    "quick_config",
+    "save_campaign",
+    "load_campaign",
+    "export_csv",
+    "check_paper_shapes",
+    "render_shape_checks",
+    "severity_ranking",
+    "MissionOutcome",
+    "FlightParams",
+    "__version__",
+]

@@ -1,0 +1,70 @@
+"""Quaternion attitude controller producing body-rate setpoints.
+
+PX4's ``mc_att_control``: a proportional law on the quaternion
+attitude error with reduced-attitude priority (tilt corrected at full
+gain, yaw at reduced gain) and rate-setpoint limiting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mathutils import quat_conjugate, quat_multiply, quat_normalize
+
+
+@dataclass
+class AttitudeControllerParams:
+    """Attitude P gains and rate envelope."""
+
+    attitude_p: float = 6.0
+    yaw_weight: float = 0.4
+    max_rate_rad_s: float = math.radians(120.0)
+    max_yaw_rate_rad_s: float = math.radians(45.0)
+
+
+class AttitudeController:
+    """Maps (q_estimate, q_setpoint) to a body-rate setpoint."""
+
+    def __init__(self, params: AttitudeControllerParams | None = None):
+        self.params = params or AttitudeControllerParams()
+
+    def rate_setpoint(
+        self,
+        q_estimate: np.ndarray,
+        q_setpoint: np.ndarray,
+        confidence: float = 1.0,
+    ) -> np.ndarray:
+        """Proportional quaternion error -> body rate setpoint (rad/s).
+
+        ``confidence`` in (0, 1] derates both the gain and the rate
+        envelope. The vehicle system feeds the estimator's attitude
+        confidence here: when the attitude is only coarsely known (e.g.
+        the gyro stream has flatlined and the attitude is being carried
+        by GPS-velocity corrections), commanding full-authority
+        corrections onto a stale estimate rings the airframe apart —
+        flying gently is what keeps a degraded vehicle alive.
+        """
+        if not 0.0 < confidence <= 1.0:
+            raise ValueError(f"confidence must be in (0, 1], got {confidence}")
+        p = self.params
+        q_err = quat_normalize(quat_multiply(quat_conjugate(q_estimate), q_setpoint))
+        if q_err[0] < 0.0:
+            q_err = -q_err  # take the short way around
+
+        # Small-angle: rotation vector ~ 2 * vector part.
+        rate_sp = 2.0 * p.attitude_p * confidence * q_err[1:4]
+        rate_sp[2] *= p.yaw_weight
+
+        max_rate = p.max_rate_rad_s * confidence
+        max_yaw = p.max_yaw_rate_rad_s * confidence
+        rate_sp[0] = _clamp(rate_sp[0], max_rate)
+        rate_sp[1] = _clamp(rate_sp[1], max_rate)
+        rate_sp[2] = _clamp(rate_sp[2], max_yaw)
+        return rate_sp
+
+
+def _clamp(value: float, limit: float) -> float:
+    return min(max(value, -limit), limit)

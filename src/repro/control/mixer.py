@@ -1,0 +1,67 @@
+"""Control allocation: collective + torques to per-motor commands."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class MixerGains:
+    """Authority of each normalised torque axis in command units."""
+
+    roll_pitch: float = 0.30
+    yaw: float = 0.25
+
+
+class Mixer:
+    """Quad-X mixer with attitude-priority desaturation.
+
+    The sign table matches :class:`repro.sim.airframe.QuadrotorAirframe`'s
+    motor layout (front-right, back-left, front-left, back-right). When a
+    command saturates, the collective is shifted to preserve the torque
+    commands — the same priority PX4's desaturation applies, and the
+    reason violently faulted vehicles lose altitude while fighting for
+    attitude.
+    """
+
+    #: Per-motor signs for (roll, pitch, yaw) contributions.
+    _SIGNS = np.array(
+        [
+            [-1.0, +1.0, +1.0],  # front-right, CCW
+            [+1.0, -1.0, +1.0],  # back-left,  CCW
+            [+1.0, +1.0, -1.0],  # front-left, CW
+            [-1.0, -1.0, -1.0],  # back-right, CW
+        ]
+    )
+
+    def __init__(self, gains: MixerGains | None = None):
+        self.gains = gains or MixerGains()
+
+    def mix(self, collective: float, torque_cmd: np.ndarray) -> np.ndarray:
+        """Return 4 normalised motor commands in [0, 1].
+
+        Args:
+            collective: normalised total thrust demand in [0, 1],
+                expressed as a *thrust fraction* of maximum total thrust.
+            torque_cmd: normalised [roll, pitch, yaw] in [-1, 1].
+
+        Allocation happens in thrust-fraction space; the final commands
+        take the square root of each motor's thrust fraction because the
+        rotor map is quadratic (thrust = T_max * command^2), so that the
+        commanded collective is actually produced.
+        """
+        g = self.gains
+        weights = np.array([g.roll_pitch, g.roll_pitch, g.yaw])
+        torque_part = self._SIGNS @ (np.clip(torque_cmd, -1.0, 1.0) * weights)
+        fractions = collective + torque_part
+
+        # Desaturate by shifting collective; torque differences survive.
+        overflow = fractions.max() - 1.0
+        if overflow > 0.0:
+            fractions -= overflow
+        underflow = -fractions.min()
+        if underflow > 0.0:
+            fractions += min(underflow, max(0.0, 1.0 - fractions.max()))
+        return np.sqrt(np.clip(fractions, 0.0, 1.0))

@@ -1,0 +1,71 @@
+"""A vector PID controller with anti-windup and derivative filtering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class PidParams:
+    """Gains and limits for a (possibly vector-valued) PID loop.
+
+    ``output_limit`` and ``integral_limit`` bound each component
+    symmetrically; ``derivative_filter_hz`` low-passes the derivative
+    term so noisy (or fault-injected) measurements do not ring the loop.
+    """
+
+    kp: float
+    ki: float = 0.0
+    kd: float = 0.0
+    output_limit: float = float("inf")
+    integral_limit: float = float("inf")
+    derivative_filter_hz: float = 30.0
+
+
+class Pid:
+    """PID on the error signal, derivative on the measurement.
+
+    Derivative-on-measurement avoids derivative kick on setpoint steps,
+    which a mission of discrete waypoints produces constantly.
+    """
+
+    def __init__(self, params: PidParams, dim: int = 3):
+        self.params = params
+        self.dim = dim
+        self._integral = np.zeros(dim)
+        self._prev_measurement: np.ndarray | None = None
+        self._deriv_filtered = np.zeros(dim)
+
+    def reset(self) -> None:
+        """Clear integral and derivative memory."""
+        self._integral[:] = 0.0
+        self._prev_measurement = None
+        self._deriv_filtered[:] = 0.0
+
+    def update(self, error: np.ndarray, measurement: np.ndarray, dt: float) -> np.ndarray:
+        """Advance the loop and return the actuation command."""
+        p = self.params
+        error = np.asarray(error, dtype=float)
+
+        if p.ki > 0.0:
+            self._integral = np.clip(
+                self._integral + error * dt, -p.integral_limit, p.integral_limit
+            )
+
+        deriv = np.zeros(self.dim)
+        if p.kd > 0.0 and self._prev_measurement is not None:
+            raw = -(measurement - self._prev_measurement) / dt
+            alpha = min(1.0, 2.0 * np.pi * p.derivative_filter_hz * dt)
+            self._deriv_filtered += alpha * (raw - self._deriv_filtered)
+            deriv = self._deriv_filtered
+        self._prev_measurement = np.array(measurement, dtype=float, copy=True)
+
+        out = p.kp * error + p.ki * self._integral + p.kd * deriv
+        return np.clip(out, -p.output_limit, p.output_limit)
+
+    @property
+    def integral(self) -> np.ndarray:
+        """Current integral state (copy)."""
+        return self._integral.copy()

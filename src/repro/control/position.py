@@ -1,0 +1,137 @@
+"""Position and velocity control: from setpoints to a thrust vector.
+
+Implements PX4's ``mc_pos_control`` structure: a P position loop feeding
+a PID velocity loop whose output is an acceleration setpoint, converted
+to a desired thrust direction + magnitude and a tilt-limited attitude
+setpoint.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.control.pid import Pid, PidParams
+from repro.mathutils import clamp, clamp_norm, quat_from_rotation_matrix
+
+
+@dataclass
+class PositionControllerParams:
+    """Gains and envelope limits for the outer loops."""
+
+    pos_p: float = 0.95
+    vel_pid: PidParams = field(
+        default_factory=lambda: PidParams(
+            kp=2.8, ki=0.6, kd=0.15, output_limit=8.0, integral_limit=2.0
+        )
+    )
+    max_speed_xy_m_s: float = 12.0
+    max_speed_up_m_s: float = 3.0
+    max_speed_down_m_s: float = 2.0
+    max_tilt_rad: float = math.radians(35.0)
+    hover_thrust: float = 0.5
+    max_thrust: float = 0.95
+    min_thrust: float = 0.08
+
+
+class PositionController:
+    """Outer-loop controller producing attitude + thrust setpoints."""
+
+    def __init__(
+        self,
+        params: PositionControllerParams | None = None,
+        mass_kg: float = 1.5,
+        max_total_thrust_n: float = 32.0,
+        gravity_m_s2: float = 9.80665,
+    ):
+        self.params = params or PositionControllerParams()
+        self.mass_kg = mass_kg
+        self.max_total_thrust_n = max_total_thrust_n
+        self.gravity = gravity_m_s2
+        self._vel_pid = Pid(self.params.vel_pid, dim=3)
+
+    def reset(self) -> None:
+        """Clear loop memory (call on mode transitions)."""
+        self._vel_pid.reset()
+
+    def velocity_setpoint(
+        self,
+        position_sp_ned: np.ndarray,
+        position_ned: np.ndarray,
+        feedforward_ned: np.ndarray | None = None,
+        cruise_speed_m_s: float | None = None,
+    ) -> np.ndarray:
+        """P position loop with per-axis envelope limits."""
+        p = self.params
+        vel_sp = p.pos_p * (position_sp_ned - position_ned)
+        if feedforward_ned is not None:
+            vel_sp = vel_sp + feedforward_ned
+        max_xy = cruise_speed_m_s if cruise_speed_m_s is not None else p.max_speed_xy_m_s
+        vel_sp[:2] = clamp_norm(vel_sp[:2], max_xy)
+        vel_sp[2] = clamp(float(vel_sp[2]), -p.max_speed_up_m_s, p.max_speed_down_m_s)
+        return vel_sp
+
+    def acceleration_setpoint(
+        self, velocity_sp_ned: np.ndarray, velocity_ned: np.ndarray, dt: float
+    ) -> np.ndarray:
+        """PID velocity loop producing an NED acceleration setpoint."""
+        return self._vel_pid.update(velocity_sp_ned - velocity_ned, velocity_ned, dt)
+
+    def thrust_and_attitude(
+        self, accel_sp_ned: np.ndarray, yaw_sp_rad: float
+    ) -> tuple[float, np.ndarray]:
+        """Convert an acceleration setpoint to (collective, q_setpoint).
+
+        The desired specific-thrust vector is ``a_sp - g`` (NED); its
+        direction gives the body -z axis, its magnitude the collective.
+        Tilt is limited by rotating the thrust direction back toward
+        vertical when it exceeds ``max_tilt_rad``.
+        """
+        p = self.params
+        # Desired thrust (sans mass) pointing "up" along -z for hover.
+        thrust_vec = accel_sp_ned - np.array([0.0, 0.0, self.gravity])
+
+        # A multirotor cannot push downward: even a maximal descent
+        # demand keeps some upward thrust (PX4's minimum thrust-z), which
+        # also guarantees the attitude setpoint is never inverted.
+        min_up = 0.2 * self.gravity
+        if thrust_vec[2] > -min_up:
+            thrust_vec[2] = -min_up
+
+        # Tilt limiting: angle between thrust_vec and straight up (-z).
+        norm = float(np.linalg.norm(thrust_vec))
+        if norm < 1e-6:
+            thrust_vec = np.array([0.0, 0.0, -self.gravity])
+            norm = self.gravity
+        cos_tilt = -thrust_vec[2] / norm
+        tilt = math.acos(clamp(cos_tilt, -1.0, 1.0))
+        if tilt > p.max_tilt_rad:
+            # Keep the vertical component, shrink the horizontal one.
+            vertical = -thrust_vec[2]
+            if vertical < 1e-6:
+                vertical = self.gravity * 0.5
+            max_horizontal = vertical * math.tan(p.max_tilt_rad)
+            thrust_vec[:2] = clamp_norm(thrust_vec[:2], max_horizontal)
+            norm = float(np.linalg.norm(thrust_vec))
+
+        body_z = -thrust_vec / norm  # desired body +z (down) in world frame
+
+        # Build the full desired rotation from body_z and the yaw setpoint.
+        yaw_vec = np.array([math.cos(yaw_sp_rad), math.sin(yaw_sp_rad), 0.0])
+        body_y = np.cross(body_z, yaw_vec)
+        y_norm = float(np.linalg.norm(body_y))
+        if y_norm < 1e-6:
+            # Thrust nearly horizontal along yaw direction; pick any leg.
+            body_y = np.array([-math.sin(yaw_sp_rad), math.cos(yaw_sp_rad), 0.0])
+            y_norm = 1.0
+        body_y = body_y / y_norm
+        body_x = np.cross(body_y, body_z)
+        rot_sp = np.column_stack([body_x, body_y, body_z])
+        q_sp = quat_from_rotation_matrix(rot_sp)
+
+        collective = clamp(
+            self.mass_kg * norm / self.max_total_thrust_n, p.min_thrust, p.max_thrust
+        )
+        return collective, q_sp

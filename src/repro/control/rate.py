@@ -1,0 +1,55 @@
+"""Body-rate PID controller — the innermost loop.
+
+Crucially, this loop's measurement input is the **raw gyroscope
+signal** (after the fault injector), not the EKF rate estimate. This
+matches PX4's ``mc_rate_control`` and is the direct path by which
+gyro fault injections destabilise the vehicle in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.control.pid import Pid, PidParams
+
+
+@dataclass
+class RateControllerParams:
+    """Per-axis rate-loop gains (roll/pitch share gains; yaw separate)."""
+
+    roll_pitch: PidParams = field(
+        default_factory=lambda: PidParams(
+            kp=0.16, ki=0.2, kd=0.004, output_limit=1.0, integral_limit=0.3
+        )
+    )
+    yaw: PidParams = field(
+        default_factory=lambda: PidParams(
+            kp=0.18, ki=0.1, kd=0.0, output_limit=0.4, integral_limit=0.2
+        )
+    )
+
+
+class RateController:
+    """PID on body rates producing normalised torque commands in [-1, 1]."""
+
+    def __init__(self, params: RateControllerParams | None = None):
+        self.params = params or RateControllerParams()
+        self._rp_pid = Pid(self.params.roll_pitch, dim=2)
+        self._yaw_pid = Pid(self.params.yaw, dim=1)
+
+    def reset(self) -> None:
+        """Clear loop memory (call on arming/mode transitions)."""
+        self._rp_pid.reset()
+        self._yaw_pid.reset()
+
+    def torque_command(
+        self, rate_sp: np.ndarray, gyro_rate: np.ndarray, dt: float
+    ) -> np.ndarray:
+        """Return normalised [roll, pitch, yaw] torque commands."""
+        rp_err = rate_sp[:2] - gyro_rate[:2]
+        rp_cmd = self._rp_pid.update(rp_err, gyro_rate[:2], dt)
+        yaw_err = np.array([rate_sp[2] - gyro_rate[2]])
+        yaw_cmd = self._yaw_pid.update(yaw_err, gyro_rate[2:3], dt)
+        return np.array([rp_cmd[0], rp_cmd[1], yaw_cmd[0]])

@@ -1,0 +1,71 @@
+"""The paper's contribution: IMU fault model, injector, and campaigns.
+
+* :mod:`repro.core.faults` — the fault model of Table I: seven
+  injectable behaviours (Fixed, Zeros, Freeze, Random, Min, Max, Noise)
+  applied to the accelerometer, the gyrometer, or the whole IMU.
+* :mod:`repro.core.injector` — corrupts the IMU sample stream between
+  the sensor drivers and the EKF, the paper's injection point.
+* :mod:`repro.core.experiments` — builds the 850-case experiment matrix
+  (10 missions x 7 faults x 3 targets x 4 durations + 10 gold runs).
+* :mod:`repro.core.campaign` — runs experiments and aggregates results.
+* :mod:`repro.core.metrics` / :mod:`repro.core.tables` — the paper's
+  evaluation metrics and the Table II/III/IV generators.
+* :mod:`repro.core.figures` — the Figure 3/4/5 trajectory scenarios.
+
+Note: :mod:`~repro.core.campaign` and :mod:`~repro.core.figures` import
+the vehicle system, which itself uses the fault injector, so they are
+*not* re-exported here — import them as submodules (or via the
+top-level :mod:`repro` package, which re-exports everything).
+"""
+
+from repro.core.faults import (
+    FaultType,
+    FaultTarget,
+    FaultSpec,
+    FAULT_MODEL_CATALOG,
+    FaultModelEntry,
+)
+from repro.core.injector import SensorFaultInjector
+from repro.core.experiments import ExperimentSpec, build_experiment_matrix
+from repro.core.results import ExperimentResult, CampaignResult
+from repro.core.tables import (
+    table2_by_duration,
+    table3_by_fault,
+    table4_failure_analysis,
+    render_table,
+)
+from repro.core.io import save_campaign, load_campaign, export_csv
+from repro.core.paper_reference import (
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    PaperSummaryRow,
+    PaperFailureRow,
+    paper_table3_row,
+)
+
+__all__ = [
+    "FaultType",
+    "FaultTarget",
+    "FaultSpec",
+    "FAULT_MODEL_CATALOG",
+    "FaultModelEntry",
+    "SensorFaultInjector",
+    "ExperimentSpec",
+    "build_experiment_matrix",
+    "ExperimentResult",
+    "CampaignResult",
+    "table2_by_duration",
+    "table3_by_fault",
+    "table4_failure_analysis",
+    "render_table",
+    "save_campaign",
+    "load_campaign",
+    "export_csv",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "PaperSummaryRow",
+    "PaperFailureRow",
+    "paper_table3_row",
+]

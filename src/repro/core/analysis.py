@@ -1,0 +1,219 @@
+"""Higher-level analysis of campaign results.
+
+Beyond the paper's three tables, this module provides:
+
+* per-mission breakdowns (which missions are fragile under which
+  faults — the paper's speed/turn diversity makes this interesting);
+* a duration x fault severity grid (the interaction the paper's
+  Sec. IV-B discusses qualitatively);
+* fault-severity ranking;
+* **shape checks** against the paper's published orderings
+  (:mod:`repro.core.paper_reference`), used by EXPERIMENTS.md and the
+  benches to state precisely which qualitative findings reproduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.faults import FaultTarget, FaultType
+from repro.core.metrics import SummaryRow, summarize
+from repro.core.results import CampaignResult, ExperimentResult
+from repro.core.tables import _fault_label
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One qualitative finding of the paper and whether we reproduce it."""
+
+    name: str
+    description: str
+    holds: bool
+    detail: str
+
+
+def by_mission(campaign: CampaignResult) -> list[SummaryRow]:
+    """Average faulty results per mission (fragility profile)."""
+    rows = []
+    mission_ids = sorted({r.mission_id for r in campaign.faulty})
+    for mission_id in mission_ids:
+        group = [r for r in campaign.faulty if r.mission_id == mission_id]
+        rows.append(summarize(f"mission {mission_id}", group))
+    return rows
+
+
+def duration_fault_grid(campaign: CampaignResult) -> dict[tuple[str, float], float]:
+    """Completion %% for every (fault label, duration) cell."""
+    grid: dict[tuple[str, float], float] = {}
+    durations = sorted({r.injection_duration_s for r in campaign.faulty})
+    for target in FaultTarget:
+        for fault_type in FaultType:
+            label = _fault_label(target, fault_type)
+            for duration in durations:
+                cell = [
+                    r
+                    for r in campaign.by_fault_label(label)
+                    if abs(r.injection_duration_s - duration) < 1e-9
+                ]
+                if cell:
+                    grid[(label, duration)] = (
+                        100.0 * sum(r.completed for r in cell) / len(cell)
+                    )
+    return grid
+
+
+def severity_ranking(campaign: CampaignResult) -> list[SummaryRow]:
+    """All 21 fault rows sorted most-severe (lowest completion) first."""
+    rows = []
+    for target in FaultTarget:
+        for fault_type in FaultType:
+            label = _fault_label(target, fault_type)
+            group = campaign.by_fault_label(label)
+            if group:
+                rows.append(summarize(label, group))
+    return sorted(rows, key=lambda row: row.completed_pct)
+
+
+def _completion(campaign: CampaignResult, label: str) -> float:
+    group = campaign.by_fault_label(label)
+    if not group:
+        raise ValueError(f"campaign has no runs for {label}")
+    return 100.0 * sum(r.completed for r in group) / len(group)
+
+
+def _component_failure(campaign: CampaignResult, target: str) -> float:
+    group = campaign.by_target(target)
+    if not group:
+        raise ValueError(f"campaign has no runs for target {target}")
+    return 100.0 * sum(r.failed for r in group) / len(group)
+
+
+def check_paper_shapes(campaign: CampaignResult) -> list[ShapeCheck]:
+    """Evaluate the paper's headline qualitative findings on a campaign.
+
+    Returns one :class:`ShapeCheck` per finding; EXPERIMENTS.md renders
+    these verbatim. The checks intentionally test *orderings*, not
+    absolute percentages.
+    """
+    checks: list[ShapeCheck] = []
+
+    def add(name, description, holds, detail):
+        checks.append(ShapeCheck(name, description, holds, detail))
+
+    # 1. Gold baseline is clean.
+    gold_ok = bool(campaign.gold) and all(
+        r.completed and r.inner_violations == 0 for r in campaign.gold
+    )
+    add(
+        "gold-baseline",
+        "Gold runs complete 100% with zero bubble violations",
+        gold_ok,
+        f"{sum(r.completed for r in campaign.gold)}/{len(campaign.gold)} completed",
+    )
+
+    # 2. Longest injections complete least.
+    durations = sorted({r.injection_duration_s for r in campaign.faulty})
+    completion_by_duration = {
+        d: 100.0 * sum(r.completed for r in campaign.by_duration(d)) / len(campaign.by_duration(d))
+        for d in durations
+    }
+    add(
+        "duration-severity",
+        "30 s injections complete fewer missions than 2 s injections",
+        completion_by_duration[durations[-1]] <= completion_by_duration[durations[0]],
+        f"completion by duration: {completion_by_duration}",
+    )
+
+    # 3. Even the shortest injection fails most missions (paper: 80%).
+    shortest = completion_by_duration[durations[0]]
+    add(
+        "short-injections-deadly",
+        "Even the shortest injections fail the majority of missions",
+        shortest < 50.0,
+        f"{100 - shortest:.1f}% failed at {durations[0]} s",
+    )
+
+    # 4. Violations grow with duration.
+    viol = {
+        d: sum(r.inner_violations for r in campaign.by_duration(d)) / len(campaign.by_duration(d))
+        for d in durations
+    }
+    add(
+        "duration-violations",
+        "Longest injections produce the most inner-bubble violations",
+        viol[durations[-1]] >= viol[durations[0]],
+        f"inner violations by duration: { {k: round(v, 2) for k, v in viol.items()} }",
+    )
+
+    # 5. Benign accel faults (Zeros/Noise) survive; violent ones do not.
+    acc_benign = max(_completion(campaign, "Acc Zeros"), _completion(campaign, "Acc Noise"))
+    acc_violent = max(
+        _completion(campaign, "Acc Min"),
+        _completion(campaign, "Acc Max"),
+        _completion(campaign, "Acc Random"),
+    )
+    add(
+        "acc-zeros-noise-survivable",
+        "Acc Zeros/Noise complete far more missions than Acc Min/Max/Random",
+        acc_benign > acc_violent,
+        f"benign {acc_benign:.1f}% vs violent {acc_violent:.1f}%",
+    )
+
+    # 6. Gyro Zeros beats Gyro Min (the paper's Sec. IV-D observation).
+    add(
+        "gyro-zeros-vs-min",
+        "Zeros are better handled than Min for the gyrometer",
+        _completion(campaign, "Gyro Zeros") > _completion(campaign, "Gyro Min"),
+        f"Gyro Zeros {_completion(campaign, 'Gyro Zeros'):.1f}% vs "
+        f"Gyro Min {_completion(campaign, 'Gyro Min'):.1f}%",
+    )
+
+    # 7. Component criticality ordering: Acc < Gyro < IMU failure rates.
+    acc = _component_failure(campaign, "accel")
+    gyro = _component_failure(campaign, "gyro")
+    imu = _component_failure(campaign, "imu")
+    add(
+        "component-ordering",
+        "Failure rates order Acc < Gyro < IMU (paper: 73% / 87.5% / 96%)",
+        acc < gyro < imu,
+        f"Acc {acc:.1f}% / Gyro {gyro:.1f}% / IMU {imu:.1f}%",
+    )
+
+    # 8. IMU faults include total-loss rows (0% completion).
+    imu_rows = [
+        _completion(campaign, _fault_label(FaultTarget.IMU, ft)) for ft in FaultType
+    ]
+    add(
+        "imu-total-loss-rows",
+        "Several full-IMU faults produce (near-)total mission loss",
+        sum(1 for pct in imu_rows if pct <= 5.0) >= 3,
+        f"IMU per-fault completion: {[round(p, 1) for p in imu_rows]}",
+    )
+
+    # 9. Accelerometer faults produce the heaviest violation counts
+    # (paper Sec. IV-D: Acc pushes drones out of their bubbles fastest).
+    def avg_inner(target: str) -> float:
+        group = campaign.by_target(target)
+        return sum(r.inner_violations for r in group) / len(group)
+
+    add(
+        "acc-heaviest-violations",
+        "Accelerometer faults cause more bubble violations than gyro faults",
+        avg_inner("accel") > avg_inner("gyro"),
+        f"avg inner violations: Acc {avg_inner('accel'):.2f} vs "
+        f"Gyro {avg_inner('gyro'):.2f}",
+    )
+
+    return checks
+
+
+def render_shape_checks(checks: list[ShapeCheck]) -> str:
+    """Human-readable report of the shape checks."""
+    lines = ["Paper shape checks:"]
+    for check in checks:
+        mark = "PASS" if check.holds else "FAIL"
+        lines.append(f"  [{mark}] {check.name}: {check.description}")
+        lines.append(f"         {check.detail}")
+    passed = sum(c.holds for c in checks)
+    lines.append(f"  {passed}/{len(checks)} qualitative findings reproduced")
+    return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""Campaign execution: run experiment matrices over the simulator.
+
+A campaign is configured once (:class:`CampaignConfig`), after which
+:func:`run_campaign` executes every case — serially or across worker
+processes (each case is fully independent and deterministically
+seeded, so parallelism cannot change results).
+
+The ``scale`` knob shrinks mission geometry (and proportionally the
+injection time) so the full 850-case matrix can run in CI-sized time
+budgets; ``scale=1.0`` is the paper-scale scenario with ~491 s gold
+runs and injection at 90 s.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.experiments import (
+    PAPER_DURATIONS_S,
+    PAPER_INJECTION_TIME_S,
+    ExperimentSpec,
+    build_experiment_matrix,
+)
+from repro.core.results import CampaignResult, ExperimentResult
+from repro.missions.valencia import valencia_missions
+from repro.system import MissionResult, SystemConfig, UavSystem
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Parameters of one fault-injection campaign.
+
+    Attributes:
+        scale: horizontal geometry multiplier for the Valencia missions.
+        injection_time_s: fault start time; ``None`` scales the paper's
+            90 s mark by ``scale`` (with a floor that keeps the
+            injection safely after the takeoff transient).
+        durations_s: injection durations to sweep (paper: 2/5/10/30 s).
+        mission_ids: subset of missions to run (default: all ten).
+        base_seed: root seed; campaigns with equal configs are
+            bit-identical.
+        workers: process count for parallel execution (1 = serial).
+    """
+
+    scale: float = 1.0
+    injection_time_s: float | None = None
+    durations_s: tuple[float, ...] = PAPER_DURATIONS_S
+    mission_ids: tuple[int, ...] = tuple(range(1, 11))
+    base_seed: int = 0
+    include_gold: bool = True
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0.0:
+            raise ValueError("scale must be positive")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+
+    @property
+    def effective_injection_time_s(self) -> float:
+        """Injection time after scaling (never inside the takeoff)."""
+        if self.injection_time_s is not None:
+            return self.injection_time_s
+        return max(20.0, PAPER_INJECTION_TIME_S * self.scale)
+
+
+def run_experiment(spec: ExperimentSpec, config: CampaignConfig) -> ExperimentResult:
+    """Execute a single experiment case and reduce it to its metrics."""
+    plans = {p.mission_id: p for p in valencia_missions(scale=config.scale)}
+    plan = plans[spec.mission_id]
+    system = UavSystem(
+        plan,
+        config=SystemConfig(seed=config.base_seed),
+        fault=spec.fault,
+    )
+    mission_result = system.run()
+    return _to_result(spec, mission_result)
+
+
+def run_campaign(
+    config: CampaignConfig | None = None,
+    specs: list[ExperimentSpec] | None = None,
+    progress: bool = False,
+) -> CampaignResult:
+    """Run a whole experiment matrix.
+
+    Args:
+        config: campaign configuration (default: paper-scale, all cases).
+        specs: explicit case list; by default the full matrix for
+            ``config`` is built.
+        progress: print a one-line progress ticker (useful for the
+            multi-minute full campaign).
+    """
+    config = config or CampaignConfig()
+    if specs is None:
+        specs = build_experiment_matrix(
+            mission_ids=list(config.mission_ids),
+            durations_s=config.durations_s,
+            injection_time_s=config.effective_injection_time_s,
+            base_seed=config.base_seed,
+            include_gold=config.include_gold,
+        )
+
+    results: list[ExperimentResult] = []
+    if config.workers == 1:
+        for index, spec in enumerate(specs):
+            results.append(run_experiment(spec, config))
+            if progress and (index + 1) % 10 == 0:
+                print(f"  ... {index + 1}/{len(specs)} experiments done", flush=True)
+    else:
+        with ProcessPoolExecutor(max_workers=config.workers) as pool:
+            futures = [pool.submit(run_experiment, spec, config) for spec in specs]
+            for index, future in enumerate(futures):
+                results.append(future.result())
+                if progress and (index + 1) % 10 == 0:
+                    print(f"  ... {index + 1}/{len(specs)} experiments done", flush=True)
+
+    return CampaignResult(
+        results=results,
+        specs=list(specs),
+        scale=config.scale,
+        injection_time_s=config.effective_injection_time_s,
+    )
+
+
+def quick_config(workers: int = 1, base_seed: int = 0) -> CampaignConfig:
+    """A CI-sized campaign: same matrix shape, 1/5-scale geometry."""
+    return CampaignConfig(scale=0.2, workers=workers, base_seed=base_seed)
+
+
+def _to_result(spec: ExperimentSpec, mission: MissionResult) -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id=spec.experiment_id,
+        mission_id=spec.mission_id,
+        fault_label=spec.label,
+        fault_type=spec.fault.fault_type.value if spec.fault else None,
+        target=spec.fault.target.value if spec.fault else None,
+        injection_duration_s=spec.fault.duration_s if spec.fault else None,
+        outcome=mission.outcome,
+        flight_duration_s=mission.flight_duration_s,
+        distance_km=mission.distance_km,
+        inner_violations=mission.inner_violations,
+        outer_violations=mission.outer_violations,
+        max_deviation_m=mission.max_deviation_m,
+    )

@@ -1,0 +1,106 @@
+"""Experiment matrix construction (paper Sec. III-B).
+
+The full campaign: for each of the 10 missions, every combination of
+7 fault types x 3 targets x 4 injection durations (2/5/10/30 s), all
+injected at the same time after take-off (90 s in the paper), plus one
+gold (fault-free) run per mission: 21 x 10 x 4 + 10 = 850 cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.faults import FaultSpec, FaultTarget, FaultType
+
+#: The paper's injection durations in seconds.
+PAPER_DURATIONS_S = (2.0, 5.0, 10.0, 30.0)
+
+#: The paper's injection time after take-off.
+PAPER_INJECTION_TIME_S = 90.0
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One campaign case: a mission plus an optional fault."""
+
+    experiment_id: int
+    mission_id: int
+    fault: FaultSpec | None
+
+    @property
+    def is_gold(self) -> bool:
+        """True for the fault-free reference runs."""
+        return self.fault is None
+
+    @property
+    def label(self) -> str:
+        return self.fault.label if self.fault else "Gold Run"
+
+    @property
+    def duration_s(self) -> float | None:
+        """Injection duration (None for gold runs)."""
+        return self.fault.duration_s if self.fault else None
+
+
+def build_experiment_matrix(
+    mission_ids: list[int] | None = None,
+    durations_s: tuple[float, ...] = PAPER_DURATIONS_S,
+    injection_time_s: float = PAPER_INJECTION_TIME_S,
+    base_seed: int = 0,
+    include_gold: bool = True,
+    fault_types: tuple[FaultType, ...] = tuple(FaultType),
+    targets: tuple[FaultTarget, ...] = tuple(FaultTarget),
+) -> list[ExperimentSpec]:
+    """Build the campaign's experiment list.
+
+    With the defaults and 10 missions this returns exactly the paper's
+    850 cases (840 faulty + 10 gold). Every case gets a deterministic
+    seed derived from its coordinates in the matrix, so single
+    experiments can be re-run in isolation bit-identically.
+    """
+    if mission_ids is None:
+        mission_ids = list(range(1, 11))
+    if injection_time_s < 0.0:
+        raise ValueError("injection_time_s must be non-negative")
+
+    specs: list[ExperimentSpec] = []
+    experiment_id = 0
+    if include_gold:
+        for mission_id in mission_ids:
+            specs.append(ExperimentSpec(experiment_id, mission_id, None))
+            experiment_id += 1
+
+    for duration in durations_s:
+        for target in targets:
+            for fault_type in fault_types:
+                for mission_id in mission_ids:
+                    seed = _case_seed(base_seed, mission_id, fault_type, target, duration)
+                    fault = FaultSpec(
+                        fault_type=fault_type,
+                        target=target,
+                        start_time_s=injection_time_s,
+                        duration_s=duration,
+                        seed=seed,
+                    )
+                    specs.append(ExperimentSpec(experiment_id, mission_id, fault))
+                    experiment_id += 1
+    return specs
+
+
+def _case_seed(
+    base_seed: int,
+    mission_id: int,
+    fault_type: FaultType,
+    target: FaultTarget,
+    duration: float,
+) -> int:
+    """Deterministic, collision-free seed for one matrix cell."""
+    type_index = list(FaultType).index(fault_type)
+    target_index = list(FaultTarget).index(target)
+    return (
+        base_seed * 1_000_003
+        + mission_id * 10_007
+        + type_index * 101
+        + target_index * 17
+        + int(duration * 10)
+    )

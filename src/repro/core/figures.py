@@ -1,0 +1,156 @@
+"""The paper's trajectory figures (Figs. 3-5) as runnable scenarios.
+
+Each figure in the paper shows one mission's planned route versus the
+flown trajectory under a specific 30 s injection:
+
+* **Fig. 3** — Fixed (random constant) value into the accelerometer of
+  the fastest drone (25 km/h), mid-leg: drone leaves the trajectory and
+  crashes.
+* **Fig. 4** — Random values into the gyrometer just before a waypoint
+  of a turning mission: reaches the waypoint but cannot stabilise for
+  the turn; failsafe engages.
+* **Fig. 5** — Random values into the whole IMU before a waypoint:
+  fast, forceful crash.
+
+:func:`run_figure_scenario` executes the scenario and returns both the
+planned route and the flown (true and estimated) trajectories;
+:func:`render_ascii_trajectory` draws a terminal top-down plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.faults import FaultSpec, FaultTarget, FaultType
+from repro.flightstack.commander import MissionOutcome
+from repro.missions.plan import route_polyline
+from repro.missions.valencia import valencia_missions
+from repro.system import SystemConfig, UavSystem
+
+
+@dataclass(frozen=True)
+class FigureScenario:
+    """Recipe for one paper figure."""
+
+    name: str
+    mission_id: int
+    fault_type: FaultType
+    target: FaultTarget
+    duration_s: float
+    description: str
+
+
+#: Mission 10 is the 25 km/h drone; missions 3/7/10 have turning points.
+FIGURE_3 = FigureScenario(
+    name="fig3",
+    mission_id=10,
+    fault_type=FaultType.FIXED,
+    target=FaultTarget.ACCEL,
+    duration_s=30.0,
+    description="Fixed value in Acc for 30 s on the fastest drone - crash",
+)
+FIGURE_4 = FigureScenario(
+    name="fig4",
+    mission_id=3,
+    fault_type=FaultType.RANDOM,
+    target=FaultTarget.GYRO,
+    duration_s=30.0,
+    description="Random values in Gyro for 30 s before a waypoint - failsafe",
+)
+FIGURE_5 = FigureScenario(
+    name="fig5",
+    mission_id=7,
+    fault_type=FaultType.RANDOM,
+    target=FaultTarget.IMU,
+    duration_s=30.0,
+    description="Random values in IMU for 30 s - fast forceful crash",
+)
+
+
+@dataclass
+class FigureResult:
+    """Data series behind one trajectory figure."""
+
+    scenario: FigureScenario
+    outcome: MissionOutcome
+    route_ned: np.ndarray
+    flown_true_ned: np.ndarray
+    flown_est_ned: np.ndarray
+    times_s: np.ndarray
+    injection_start_s: float
+    injection_end_s: float
+    flight_duration_s: float
+
+
+def run_figure_scenario(
+    scenario: FigureScenario,
+    scale: float = 1.0,
+    injection_time_s: float | None = None,
+    seed: int = 0,
+) -> FigureResult:
+    """Execute a figure scenario and collect its trajectory data."""
+    plans = {p.mission_id: p for p in valencia_missions(scale=scale)}
+    plan = plans[scenario.mission_id]
+    if injection_time_s is None:
+        injection_time_s = max(20.0, 90.0 * scale)
+    fault = FaultSpec(
+        fault_type=scenario.fault_type,
+        target=scenario.target,
+        start_time_s=injection_time_s,
+        duration_s=scenario.duration_s,
+        seed=seed,
+    )
+    system = UavSystem(plan, config=SystemConfig(seed=seed), fault=fault)
+    result = system.run()
+    route = np.vstack(route_polyline(plan))
+    return FigureResult(
+        scenario=scenario,
+        outcome=result.outcome,
+        route_ned=route,
+        flown_true_ned=system.recorder.positions_true(),
+        flown_est_ned=system.recorder.positions_estimated(),
+        times_s=system.recorder.times(),
+        injection_start_s=fault.start_time_s,
+        injection_end_s=fault.end_time_s,
+        flight_duration_s=result.flight_duration_s,
+    )
+
+
+def render_ascii_trajectory(result: FigureResult, width: int = 72, height: int = 24) -> str:
+    """Top-down (north-east) ASCII plot: route ``.``, flown ``*``,
+    injection window ``#``, end point ``X``."""
+    route = result.route_ned
+    flown = result.flown_true_ned
+    if flown.shape[0] == 0:
+        return "(no trajectory recorded)"
+    all_pts = np.vstack([route[:, :2], flown[:, :2]])
+    lo = all_pts.min(axis=0)
+    hi = all_pts.max(axis=0)
+    span = np.maximum(hi - lo, 1e-6)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(north: float, east: float, char: str) -> None:
+        col = int((east - lo[1]) / span[1] * (width - 1))
+        row = int((1.0 - (north - lo[0]) / span[0]) * (height - 1))
+        grid[row][col] = char
+
+    for i in range(len(route) - 1):
+        for t in np.linspace(0.0, 1.0, 40):
+            p = route[i] * (1 - t) + route[i + 1] * t
+            plot(p[0], p[1], ".")
+    in_window = (result.times_s >= result.injection_start_s) & (
+        result.times_s <= result.injection_end_s
+    )
+    for point, faulted in zip(flown, in_window):
+        plot(point[0], point[1], "#" if faulted else "*")
+    plot(flown[-1][0], flown[-1][1], "X")
+
+    legend = (
+        f"{result.scenario.description}\n"
+        f"outcome: {result.outcome.value}, duration {result.flight_duration_s:.1f} s  "
+        f"(route '.', flown '*', injected '#', end 'X')"
+    )
+    return "\n".join("".join(row) for row in grid) + "\n" + legend

@@ -1,0 +1,79 @@
+"""The sensor fault injector.
+
+Sits between the IMU driver and the EKF (and the rate controller, which
+consumes the gyro directly), corrupting samples while the configured
+fault window is active — the injection point the paper integrated into
+PX4 ("introducing predefined faults into the UAVs' flight controller by
+corrupting sensor data output").
+"""
+
+from __future__ import annotations
+
+from repro.core.faults import FaultBehavior, FaultSpec
+from repro.sensors.imu import ImuSample
+
+
+class SensorFaultInjector:
+    """Applies one :class:`FaultSpec` to a stream of IMU samples.
+
+    The injector tracks the last clean sample so FREEZE can latch the
+    value from the instant the injection starts, and latches activation
+    state so FIXED draws its random constant exactly once per window.
+    """
+
+    def __init__(self, spec: FaultSpec | None, accel_range: float, gyro_range: float):
+        self.spec = spec
+        self._was_active = False
+        self._accel_behavior: FaultBehavior | None = None
+        self._gyro_behavior: FaultBehavior | None = None
+        if spec is not None:
+            if spec.target.affects_accel:
+                self._accel_behavior = FaultBehavior(
+                    spec.fault_type,
+                    accel_range,
+                    spec.seed,
+                    spec.noise_fraction,
+                    spec.noise_bias_fraction,
+                )
+            if spec.target.affects_gyro:
+                self._gyro_behavior = FaultBehavior(
+                    spec.fault_type,
+                    gyro_range,
+                    spec.seed + 1,
+                    spec.noise_fraction,
+                    spec.noise_bias_fraction,
+                )
+
+    def is_active(self, time_s: float) -> bool:
+        """True while the fault window covers ``time_s``."""
+        return self.spec is not None and self.spec.is_active(time_s)
+
+    def apply(self, sample: ImuSample) -> ImuSample:
+        """Return the (possibly corrupted) sample to feed the stack.
+
+        Clean passthrough outside the window; inside it, the configured
+        behaviours replace the targeted triads. The input sample is not
+        mutated.
+        """
+        if self.spec is None:
+            return sample
+
+        active = self.spec.is_active(sample.time_s)
+        if not active:
+            self._was_active = active
+            return sample
+
+        if not self._was_active:
+            # Injection edge: latch freeze/fixed state from clean data.
+            if self._accel_behavior is not None:
+                self._accel_behavior.on_activation(sample.accel)
+            if self._gyro_behavior is not None:
+                self._gyro_behavior.on_activation(sample.gyro)
+            self._was_active = True
+
+        corrupted = sample.copy()
+        if self._accel_behavior is not None:
+            corrupted.accel = self._accel_behavior.apply(sample.accel)
+        if self._gyro_behavior is not None:
+            corrupted.gyro = self._gyro_behavior.apply(sample.gyro)
+        return corrupted

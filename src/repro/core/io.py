@@ -1,0 +1,96 @@
+"""Persistence for campaign results.
+
+Campaigns at paper scale take hours, so results must be storable and
+re-analysable without re-running. The JSON schema is flat and versioned;
+:func:`load_campaign` refuses unknown versions rather than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.results import CampaignResult, ExperimentResult
+from repro.flightstack.commander import MissionOutcome
+
+_SCHEMA_VERSION = 1
+
+
+def save_campaign(campaign: CampaignResult, path: str | Path) -> None:
+    """Write a campaign to ``path`` as JSON."""
+    payload = {
+        "schema_version": _SCHEMA_VERSION,
+        "scale": campaign.scale,
+        "injection_time_s": campaign.injection_time_s,
+        "results": [
+            {
+                "experiment_id": r.experiment_id,
+                "mission_id": r.mission_id,
+                "fault_label": r.fault_label,
+                "fault_type": r.fault_type,
+                "target": r.target,
+                "injection_duration_s": r.injection_duration_s,
+                "outcome": r.outcome.value,
+                "flight_duration_s": r.flight_duration_s,
+                "distance_km": r.distance_km,
+                "inner_violations": r.inner_violations,
+                "outer_violations": r.outer_violations,
+                "max_deviation_m": r.max_deviation_m,
+            }
+            for r in campaign.results
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_campaign(path: str | Path) -> CampaignResult:
+    """Read a campaign previously written by :func:`save_campaign`."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("schema_version")
+    if version != _SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported campaign schema version {version!r} in {path} "
+            f"(expected {_SCHEMA_VERSION})"
+        )
+    results = [
+        ExperimentResult(
+            experiment_id=r["experiment_id"],
+            mission_id=r["mission_id"],
+            fault_label=r["fault_label"],
+            fault_type=r["fault_type"],
+            target=r["target"],
+            injection_duration_s=r["injection_duration_s"],
+            outcome=MissionOutcome(r["outcome"]),
+            flight_duration_s=r["flight_duration_s"],
+            distance_km=r["distance_km"],
+            inner_violations=r["inner_violations"],
+            outer_violations=r["outer_violations"],
+            max_deviation_m=r["max_deviation_m"],
+        )
+        for r in payload["results"]
+    ]
+    return CampaignResult(
+        results=results,
+        specs=[],
+        scale=payload["scale"],
+        injection_time_s=payload["injection_time_s"],
+    )
+
+
+def export_csv(campaign: CampaignResult, path: str | Path) -> None:
+    """Write the raw per-experiment rows as CSV (for pandas/R users)."""
+    header = (
+        "experiment_id,mission_id,fault_label,fault_type,target,"
+        "injection_duration_s,outcome,flight_duration_s,distance_km,"
+        "inner_violations,outer_violations,max_deviation_m"
+    )
+    lines = [header]
+    for r in campaign.results:
+        label = r.fault_label.replace(",", ";")
+        lines.append(
+            f"{r.experiment_id},{r.mission_id},{label},{r.fault_type or ''},"
+            f"{r.target or ''},{r.injection_duration_s if r.injection_duration_s is not None else ''},"
+            f"{r.outcome.value},{r.flight_duration_s:.3f},{r.distance_km:.4f},"
+            f"{r.inner_violations},{r.outer_violations},{r.max_deviation_m:.3f}"
+        )
+    Path(path).write_text("\n".join(lines) + "\n")

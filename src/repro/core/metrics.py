@@ -1,0 +1,78 @@
+"""Aggregation of experiment results into the paper's summary rows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.results import ExperimentResult
+
+
+@dataclass(frozen=True)
+class SummaryRow:
+    """One row of Table II / Table III: averages over a result group."""
+
+    label: str
+    runs: int
+    inner_violations_avg: float
+    outer_violations_avg: float
+    completed_pct: float
+    duration_avg_s: float
+    distance_avg_km: float
+
+
+@dataclass(frozen=True)
+class FailureRow:
+    """One row of Table IV: the failure / crash / failsafe split."""
+
+    label: str
+    runs: int
+    failed_pct: float
+    crash_pct_of_failed: float
+    failsafe_pct_of_failed: float
+
+
+def summarize(label: str, results: list[ExperimentResult]) -> SummaryRow:
+    """Average a result group into a Table II/III row.
+
+    An empty group is a caller bug (a missing matrix slice), so it
+    raises instead of emitting a silent zero row.
+    """
+    if not results:
+        raise ValueError(f"cannot summarise empty result group: {label}")
+    n = len(results)
+    return SummaryRow(
+        label=label,
+        runs=n,
+        inner_violations_avg=sum(r.inner_violations for r in results) / n,
+        outer_violations_avg=sum(r.outer_violations for r in results) / n,
+        completed_pct=100.0 * sum(r.completed for r in results) / n,
+        duration_avg_s=sum(r.flight_duration_s for r in results) / n,
+        distance_avg_km=sum(r.distance_km for r in results) / n,
+    )
+
+
+def failure_analysis(label: str, results: list[ExperimentResult]) -> FailureRow:
+    """Reduce a result group to a Table IV row.
+
+    Crash and failsafe percentages are expressed as shares of the
+    *failed* runs, as in the paper (each row's crash% + failsafe% sums
+    to 100% whenever anything failed).
+    """
+    if not results:
+        raise ValueError(f"cannot analyse empty result group: {label}")
+    n = len(results)
+    failed = [r for r in results if r.failed]
+    failed_pct = 100.0 * len(failed) / n
+    if failed:
+        crash_pct = 100.0 * sum(r.crashed for r in failed) / len(failed)
+        failsafe_pct = 100.0 * sum(r.failsafed for r in failed) / len(failed)
+    else:
+        crash_pct = 0.0
+        failsafe_pct = 0.0
+    return FailureRow(
+        label=label,
+        runs=n,
+        failed_pct=failed_pct,
+        crash_pct_of_failed=crash_pct,
+        failsafe_pct_of_failed=failsafe_pct,
+    )

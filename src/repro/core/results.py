@@ -1,0 +1,84 @@
+"""Result records produced by campaign runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.experiments import ExperimentSpec
+from repro.flightstack.commander import MissionOutcome
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Metrics of one executed experiment (one row of the raw data)."""
+
+    experiment_id: int
+    mission_id: int
+    fault_label: str
+    fault_type: str | None
+    target: str | None
+    injection_duration_s: float | None
+    outcome: MissionOutcome
+    flight_duration_s: float
+    distance_km: float
+    inner_violations: int
+    outer_violations: int
+    max_deviation_m: float
+
+    @property
+    def is_gold(self) -> bool:
+        return self.fault_type is None
+
+    @property
+    def completed(self) -> bool:
+        """The paper's 'mission completed': neither crash nor failsafe."""
+        return self.outcome == MissionOutcome.COMPLETED
+
+    @property
+    def failed(self) -> bool:
+        return not self.completed
+
+    @property
+    def crashed(self) -> bool:
+        return self.outcome == MissionOutcome.CRASHED
+
+    @property
+    def failsafed(self) -> bool:
+        """Failsafe-activated runs; timeouts (vehicle lost without
+        impact) are counted here for the failure-analysis split."""
+        return self.outcome in (MissionOutcome.FAILSAFE, MissionOutcome.TIMEOUT)
+
+
+@dataclass
+class CampaignResult:
+    """All experiment results of one campaign, plus its provenance."""
+
+    results: list[ExperimentResult] = field(default_factory=list)
+    specs: list[ExperimentSpec] = field(default_factory=list)
+    scale: float = 1.0
+    injection_time_s: float = 90.0
+
+    @property
+    def gold(self) -> list[ExperimentResult]:
+        return [r for r in self.results if r.is_gold]
+
+    @property
+    def faulty(self) -> list[ExperimentResult]:
+        return [r for r in self.results if not r.is_gold]
+
+    def by_duration(self, duration_s: float) -> list[ExperimentResult]:
+        """Faulty results with the given injection duration."""
+        return [
+            r
+            for r in self.faulty
+            if r.injection_duration_s is not None
+            and abs(r.injection_duration_s - duration_s) < 1e-9
+        ]
+
+    def by_fault_label(self, label: str) -> list[ExperimentResult]:
+        """Faulty results with the given 'Target FaultName' label."""
+        return [r for r in self.faulty if r.fault_label == label]
+
+    def by_target(self, target: str) -> list[ExperimentResult]:
+        """Faulty results for one component ('accel'/'gyro'/'imu')."""
+        return [r for r in self.faulty if r.target == target]

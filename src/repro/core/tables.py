@@ -1,0 +1,123 @@
+"""Generators for the paper's Tables II, III, and IV.
+
+Each function reduces a :class:`~repro.core.results.CampaignResult`
+into the same rows the paper prints, sorted the same way (descending
+mission-completion percentage). :func:`render_table` turns rows into a
+fixed-width text table for terminals and logs.
+"""
+
+from __future__ import annotations
+
+from repro.core.faults import FaultTarget, FaultType
+from repro.core.metrics import FailureRow, SummaryRow, failure_analysis, summarize
+from repro.core.results import CampaignResult
+
+_FAULT_LABEL_ORDER = [
+    (target, fault_type) for target in FaultTarget for fault_type in FaultType
+]
+
+
+def table2_by_duration(campaign: CampaignResult) -> list[SummaryRow]:
+    """Table II: averages of all missions/faults grouped by duration.
+
+    The first row is the gold baseline; faulty rows are sorted by
+    descending completion percentage (the paper's sort order).
+    """
+    rows = [summarize("Gold Run", campaign.gold)] if campaign.gold else []
+    durations = sorted({r.injection_duration_s for r in campaign.faulty})
+    fault_rows = [
+        summarize(_duration_label(d), campaign.by_duration(d)) for d in durations
+    ]
+    fault_rows.sort(key=lambda row: -row.completed_pct)
+    return rows + fault_rows
+
+
+def table3_by_fault(campaign: CampaignResult) -> list[SummaryRow]:
+    """Table III: averages over all durations grouped by fault type.
+
+    Rows are grouped by component (Acc, Gyro, IMU) and sorted by
+    descending completion within each component, as in the paper.
+    """
+    rows = [summarize("Gold Run", campaign.gold)] if campaign.gold else []
+    for target in FaultTarget:
+        target_rows = []
+        for fault_type in FaultType:
+            label = _fault_label(target, fault_type)
+            group = campaign.by_fault_label(label)
+            if group:
+                target_rows.append(summarize(label, group))
+        target_rows.sort(key=lambda row: -row.completed_pct)
+        rows.extend(target_rows)
+    return rows
+
+
+def table4_failure_analysis(campaign: CampaignResult) -> list[FailureRow]:
+    """Table IV: failure/crash/failsafe rates by duration and component."""
+    rows = []
+    if campaign.gold:
+        rows.append(failure_analysis("Gold Run", campaign.gold))
+    for duration in sorted({r.injection_duration_s for r in campaign.faulty}):
+        rows.append(failure_analysis(_duration_label(duration), campaign.by_duration(duration)))
+    for target in FaultTarget:
+        group = campaign.by_target(target.value)
+        if group:
+            rows.append(failure_analysis(target.label, group))
+    return rows
+
+
+def render_table(rows: list[SummaryRow] | list[FailureRow], title: str = "") -> str:
+    """Fixed-width text rendering of summary or failure rows."""
+    if not rows:
+        return f"{title}\n(empty)"
+    lines = []
+    if title:
+        lines.append(title)
+    first = rows[0]
+    if isinstance(first, SummaryRow):
+        header = (
+            f"{'Injection':<18} {'Inner (#)':>10} {'Outer (#)':>10} "
+            f"{'Completed':>10} {'Duration (s)':>13} {'Distance (km)':>14}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in rows:
+            assert isinstance(row, SummaryRow)
+            lines.append(
+                f"{row.label:<18} {row.inner_violations_avg:>10.2f} "
+                f"{row.outer_violations_avg:>10.2f} {row.completed_pct:>9.2f}% "
+                f"{row.duration_avg_s:>13.2f} {row.distance_avg_km:>14.2f}"
+            )
+    else:
+        header = (
+            f"{'Injection':<18} {'Failed':>9} {'Crash':>9} {'Failsafe':>9}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in rows:
+            assert isinstance(row, FailureRow)
+            lines.append(
+                f"{row.label:<18} {row.failed_pct:>8.2f}% "
+                f"{row.crash_pct_of_failed:>8.2f}% {row.failsafe_pct_of_failed:>8.2f}%"
+            )
+    return "\n".join(lines)
+
+
+def _duration_label(duration_s: float) -> str:
+    if duration_s is None:
+        return "unknown"
+    if duration_s == int(duration_s):
+        return f"{int(duration_s)} seconds"
+    return f"{duration_s} seconds"
+
+
+def _fault_label(target: FaultTarget, fault_type: FaultType) -> str:
+    names = {
+        FaultType.FIXED: "Fixed Value",
+        FaultType.ZEROS: "Zeros",
+        FaultType.FREEZE: "Freeze",
+        FaultType.RANDOM: "Random",
+        FaultType.MIN: "Min",
+        FaultType.MAX: "Max",
+        FaultType.NOISE: "Noise",
+    }
+    return f"{target.label} {names[fault_type]}"

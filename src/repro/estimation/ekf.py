@@ -1,0 +1,393 @@
+"""Error-state extended Kalman filter for multirotor navigation.
+
+State layout (nominal):
+    quaternion (body->world), velocity NED, position NED,
+    gyro bias, accel bias.
+
+Error state (15): ``[d_theta(3), d_vel(3), d_pos(3), d_bias_gyro(3),
+d_bias_accel(3)]`` with the attitude error defined in the body frame,
+``q_true = q_nominal * exp(d_theta)``.
+
+The filter predicts at the IMU rate and applies GPS position/velocity,
+barometric height, and magnetometer yaw updates with chi-square
+innovation gating. Gated (rejected) innovations are reported through
+:class:`~repro.estimation.health.InnovationMonitor`, which is what the
+failsafe engine watches — mirroring PX4's EKF health flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mathutils import (
+    quat_from_axis_angle,
+    quat_integrate,
+    quat_multiply,
+    quat_normalize,
+    quat_rotate,
+    quat_to_euler,
+    quat_to_rotation_matrix,
+    skew,
+    wrap_angle,
+)
+from repro.sensors.imu import ImuSample
+from repro.sensors.gps import GpsSample
+from repro.estimation.health import InnovationMonitor
+
+# Error-state block indices.
+_TH = slice(0, 3)
+_V = slice(3, 6)
+_P = slice(6, 9)
+_BG = slice(9, 12)
+_BA = slice(12, 15)
+
+
+@dataclass
+class EkfParams:
+    """Noise densities, bias limits, and innovation gates.
+
+    The gates are expressed as sigma multiples; an innovation whose
+    normalised squared magnitude exceeds ``gate**2`` is rejected and
+    counted by the health monitor.
+    """
+
+    gyro_noise: float = 0.03
+    accel_noise: float = 0.2
+    gyro_bias_walk: float = 5e-4
+    accel_bias_walk: float = 3e-3
+    gyro_bias_limit: float = 0.4
+    accel_bias_limit: float = 1.0
+    gps_pos_gate: float = 5.0
+    gps_vel_gate: float = 5.0
+    baro_gate: float = 5.0
+    mag_gate: float = 4.0
+    baro_noise_m: float = 0.3
+    mag_noise_rad: float = 0.05
+    #: Ablation switch: disable the PX4-style fusion-timeout hard reset
+    #: (the mechanism that lets the filter recover after divergence).
+    enable_fusion_reset: bool = True
+
+
+@dataclass
+class EkfState:
+    """Nominal state snapshot (arrays are views; copy before storing)."""
+
+    quaternion: np.ndarray
+    velocity_ned: np.ndarray
+    position_ned: np.ndarray
+    gyro_bias: np.ndarray
+    accel_bias: np.ndarray
+
+    @property
+    def yaw_rad(self) -> float:
+        return quat_to_euler(self.quaternion)[2]
+
+    def copy(self) -> "EkfState":
+        return EkfState(
+            self.quaternion.copy(),
+            self.velocity_ned.copy(),
+            self.position_ned.copy(),
+            self.gyro_bias.copy(),
+            self.accel_bias.copy(),
+        )
+
+
+class Ekf:
+    """The estimator: IMU-driven prediction plus gated aiding updates."""
+
+    #: Consecutive per-axis GPS rejections before the corresponding state
+    #: block is hard-reset to the measurement (PX4's fusion-timeout
+    #: reset). At the 5 Hz GPS rate this is ~1.6 s of disagreement.
+    RESET_REJECTION_COUNT = 8
+
+    def __init__(
+        self,
+        params: EkfParams | None = None,
+        gravity_m_s2: float = 9.80665,
+        initial_position_ned: np.ndarray | None = None,
+        initial_yaw_rad: float = 0.0,
+    ):
+        self.params = params or EkfParams()
+        self._gravity_ned = np.array([0.0, 0.0, gravity_m_s2])
+        self.quaternion = quat_from_axis_angle(np.array([0.0, 0.0, 1.0]), initial_yaw_rad)
+        self.velocity_ned = np.zeros(3)
+        self.position_ned = (
+            np.zeros(3) if initial_position_ned is None else np.asarray(initial_position_ned, float)
+        )
+        self.gyro_bias = np.zeros(3)
+        self.accel_bias = np.zeros(3)
+
+        # Initial uncertainty: well-initialised SITL vehicle on the pad.
+        self.covariance = np.diag(
+            [0.01] * 3 + [0.1] * 3 + [0.25] * 3 + [1e-4] * 3 + [1e-2] * 3
+        )
+        self.monitor = InnovationMonitor()
+        self.time_s = 0.0
+        # Angular rate after bias removal; the rate controller consumes
+        # the raw gyro, but logging and failsafe use this too.
+        self.rate_body = np.zeros(3)
+        # Stuck-sensor (flatline) detection: a real MEMS gyro never emits
+        # bit-identical samples (thermal noise), so an exactly-constant
+        # triad means the data stream is dead or frozen.
+        self._last_raw_gyro: np.ndarray | None = None
+        self._gyro_flatline_count = 0
+        self._last_raw_accel: np.ndarray | None = None
+        self._accel_flatline_count = 0
+        # Latched filter fault: a full-IMU dropout (both triads
+        # flatlined) means the inertial solution integrity is gone; like
+        # PX4's EKF failure handling, the fault latches until landing.
+        self.imu_stale_latched = False
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+
+    def predict(self, imu: ImuSample, dt: float) -> None:
+        """Propagate nominal state and covariance with one IMU sample."""
+        if dt <= 0.0:
+            raise ValueError("dt must be positive")
+        p = self.params
+        omega = imu.gyro - self.gyro_bias
+        accel = imu.accel - self.accel_bias
+        self.rate_body = omega
+
+        # Flatline detection: with the gyro stream dead (zeros or frozen)
+        # the attitude is no longer measured, only *dead-reckoned*, so the
+        # attitude process noise must grow accordingly. The inflated
+        # covariance lets GPS-velocity innovations correct the attitude
+        # through the velocity/attitude cross-covariance — without this,
+        # the filter keeps trusting a sensor that has stopped reporting.
+        if self._last_raw_gyro is not None and np.array_equal(imu.gyro, self._last_raw_gyro):
+            self._gyro_flatline_count += 1
+        else:
+            self._gyro_flatline_count = 0
+        self._last_raw_gyro = imu.gyro.copy()
+        gyro_noise = p.gyro_noise if self._gyro_flatline_count < 20 else 0.8
+
+        if self._last_raw_accel is not None and np.array_equal(imu.accel, self._last_raw_accel):
+            self._accel_flatline_count += 1
+        else:
+            self._accel_flatline_count = 0
+        self._last_raw_accel = imu.accel.copy()
+        if self._gyro_flatline_count >= 50 and self._accel_flatline_count >= 50:
+            self.imu_stale_latched = True
+
+        rot = quat_to_rotation_matrix(self.quaternion)
+        accel_world = rot @ accel + self._gravity_ned
+
+        # Nominal propagation.
+        self.position_ned = self.position_ned + self.velocity_ned * dt + 0.5 * accel_world * dt * dt
+        self.velocity_ned = self.velocity_ned + accel_world * dt
+        self.quaternion = quat_integrate(self.quaternion, omega, dt)
+
+        # Covariance propagation: Phi = I + F dt (adequate at IMU rate).
+        phi = np.eye(15)
+        phi[_TH, _TH] -= skew(omega) * dt
+        phi[_TH, _BG] = -np.eye(3) * dt
+        phi[_V, _TH] = -rot @ skew(accel) * dt
+        phi[_V, _BA] = -rot * dt
+        phi[_P, _V] = np.eye(3) * dt
+
+        self.covariance = phi @ self.covariance @ phi.T
+        diag = self.covariance.ravel()[:: 16]
+        diag[_TH] += (gyro_noise**2) * dt
+        diag[_V] += (p.accel_noise**2) * dt
+        diag[_BG] += (p.gyro_bias_walk**2) * dt
+        diag[_BA] += (p.accel_bias_walk**2) * dt
+        self.time_s = imu.time_s
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def update_gps(self, fix: GpsSample) -> None:
+        """Apply GPS position and velocity aiding.
+
+        If a channel has been in sustained rejection (the filter diverged
+        from reality, e.g. because an IMU fault dragged the prediction
+        away), the corresponding state block is hard-reset to the fix —
+        PX4's fusion-timeout behaviour, and the mechanism that lets
+        vehicles recover once a short injection ends.
+        """
+        if self.params.enable_fusion_reset:
+            if self.monitor.group_max_consecutive("gps_vel") >= self.RESET_REJECTION_COUNT:
+                self._reset_block(_V, fix.velocity_ned, 1.0, "gps_vel")
+            if self.monitor.group_max_consecutive("gps_pos") >= self.RESET_REJECTION_COUNT:
+                self._reset_block(_P, fix.position_ned, 4.0, "gps_pos")
+
+        p = self.params
+        pos_var = np.array(
+            [
+                fix.horizontal_accuracy_m**2,
+                fix.horizontal_accuracy_m**2,
+                fix.vertical_accuracy_m**2,
+            ]
+        )
+        innov_p = fix.position_ned - self.position_ned
+        self._vector_update(innov_p, _P, pos_var, p.gps_pos_gate, "gps_pos")
+
+        vel_var = np.full(3, 0.15**2)
+        innov_v = fix.velocity_ned - self.velocity_ned
+        self._vector_update(innov_v, _V, vel_var, p.gps_vel_gate, "gps_vel")
+
+    def update_baro(self, altitude_m: float) -> None:
+        """Apply barometric height aiding (altitude positive up)."""
+        innov = altitude_m - (-self.position_ned[2])
+        h = np.zeros(15)
+        h[8] = -1.0  # d(alt)/d(p_down)
+        self._scalar_update(innov, h, self.params.baro_noise_m**2, self.params.baro_gate, "baro")
+
+    def update_mag_yaw(self, yaw_meas_rad: float) -> None:
+        """Apply magnetometer yaw aiding."""
+        yaw_est = quat_to_euler(self.quaternion)[2]
+        innov = wrap_angle(yaw_meas_rad - yaw_est)
+        rot = quat_to_rotation_matrix(self.quaternion)
+        h = np.zeros(15)
+        # Small body-frame attitude errors map to world-frame errors via R;
+        # yaw error is the world-z component.
+        h[_TH] = rot[2, :]
+        self._scalar_update(innov, h, self.params.mag_noise_rad**2, self.params.mag_gate, "mag")
+
+    #: Gain (1/s) of the complementary gravity-tilt correction.
+    GRAVITY_AIDING_GAIN = 3.0
+
+    def update_gravity_tilt(
+        self, accel_body: np.ndarray, gyro_body: np.ndarray, dt: float = 0.05
+    ) -> None:
+        """Quasi-static tilt aiding from the accelerometer's gravity vector.
+
+        When the specific force is close to 1 g and the measured rates are
+        small, the accelerometer direction observes roll/pitch. The
+        correction is applied as a Mahony-style complementary blend,
+        ``q <- q * exp(k * err * dt)``, rather than a gated Kalman update:
+        its authority must scale with the error so the filter can re-level
+        after (or during) a gyro fault window, when the gyro-trusting
+        covariance would otherwise gate the information out exactly when
+        it is needed. During violent motion or accelerometer faults the
+        quasi-static check keeps it out of the loop.
+        """
+        g = self._gravity_ned[2]
+        norm = float(np.linalg.norm(accel_body))
+        quasi_static = abs(norm - g) <= 0.12 * g and float(np.linalg.norm(gyro_body)) <= 0.25
+        if not quasi_static:
+            return
+        rot = quat_to_rotation_matrix(self.quaternion)
+        expected = rot.T @ np.array([0.0, 0.0, -1.0])
+        measured = accel_body / norm
+        # Small-angle attitude error (body frame); z component excluded —
+        # gravity says nothing about yaw.
+        err = np.cross(measured, expected)
+        err[2] = 0.0
+        err_norm = float(np.linalg.norm(err))
+        self.monitor.record("grav", self.time_s, err_norm, True)
+        if err_norm < 1e-9:
+            return
+        angle = self.GRAVITY_AIDING_GAIN * dt * err_norm
+        dq = quat_from_axis_angle(err, min(angle, 0.3))
+        self.quaternion = quat_normalize(quat_multiply(self.quaternion, dq))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _reset_block(self, block: slice, value: np.ndarray, variance: float, channel: str) -> None:
+        """Hard-reset one state block to a measurement and re-open gates."""
+        if block == _V:
+            self.velocity_ned = np.asarray(value, float).copy()
+        elif block == _P:
+            self.position_ned = np.asarray(value, float).copy()
+        else:  # pragma: no cover - only vel/pos resets are defined
+            raise ValueError("only velocity/position blocks can be reset")
+        self.covariance[block, :] = 0.0
+        self.covariance[:, block] = 0.0
+        diag = self.covariance.ravel()[:: 16]
+        diag[block] = variance
+        self.monitor.clear_group_streaks(channel)
+
+    def _vector_update(
+        self,
+        innovation: np.ndarray,
+        block: slice,
+        meas_var: np.ndarray,
+        gate: float,
+        name: str,
+    ) -> None:
+        """Sequential per-axis scalar updates for a direct-observation block."""
+        start = block.start
+        for axis in range(3):
+            h = np.zeros(15)
+            h[start + axis] = 1.0
+            self._scalar_update(
+                float(innovation[axis]), h, float(meas_var[axis]), gate, f"{name}_{axis}"
+            )
+
+    def _scalar_update(
+        self, innovation: float, h: np.ndarray, meas_var: float, gate: float, name: str
+    ) -> None:
+        """One gated scalar Kalman update."""
+        ph = self.covariance @ h
+        s = float(h @ ph) + meas_var
+        test_ratio = (innovation * innovation) / (gate * gate * s)
+        accepted = test_ratio <= 1.0
+        self.monitor.record(name, self.time_s, test_ratio, accepted)
+        if not accepted:
+            return
+        k = ph / s
+        self._inject_error(k * innovation)
+        # Joseph-lite: symmetric covariance decrement.
+        self.covariance = self.covariance - np.outer(k, ph)
+        self.covariance = 0.5 * (self.covariance + self.covariance.T)
+
+    def _inject_error(self, dx: np.ndarray) -> None:
+        """Fold an error-state correction into the nominal state."""
+        p = self.params
+        dq = quat_from_axis_angle(dx[_TH], float(np.linalg.norm(dx[_TH])))
+        self.quaternion = quat_normalize(quat_multiply(self.quaternion, dq))
+        self.velocity_ned = self.velocity_ned + dx[_V]
+        self.position_ned = self.position_ned + dx[_P]
+        self.gyro_bias = np.clip(
+            self.gyro_bias + dx[_BG], -p.gyro_bias_limit, p.gyro_bias_limit
+        )
+        self.accel_bias = np.clip(
+            self.accel_bias + dx[_BA], -p.accel_bias_limit, p.accel_bias_limit
+        )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def attitude_std_rad(self) -> float:
+        """1-sigma tilt uncertainty (worst roll/pitch axis)."""
+        return float(np.sqrt(max(self.covariance[0, 0], self.covariance[1, 1])))
+
+    @property
+    def attitude_confidence(self) -> float:
+        """Confidence factor in (0, 1] for gain scheduling.
+
+        1.0 while the attitude is known to better than ~3 degrees,
+        decaying toward a floor as the uncertainty grows (gyro flatline,
+        violent fault transients).
+        """
+        sigma = self.attitude_std_rad
+        reference = 0.06
+        if sigma <= reference:
+            return 1.0
+        return max(0.12, reference / sigma)
+
+    @property
+    def state(self) -> EkfState:
+        """Current nominal state (live views; copy before storing)."""
+        return EkfState(
+            self.quaternion,
+            self.velocity_ned,
+            self.position_ned,
+            self.gyro_bias,
+            self.accel_bias,
+        )
+
+    def rotate_body_to_world(self, v: np.ndarray) -> np.ndarray:
+        """Rotate a body-frame vector into the world frame with q_hat."""
+        return quat_rotate(self.quaternion, v)

@@ -1,0 +1,164 @@
+"""Estimator health: innovation bookkeeping and fault flags.
+
+PX4 exposes EKF innovation test ratios and "filter fault" flags that the
+commander's failsafe logic consumes; this module reproduces that
+interface. Two views of each innovation channel are kept:
+
+* ``consecutive_rejections`` — drives the filter's own *fusion-timeout
+  reset* (a short streak means the filter and the aiding source
+  disagree and the state block should be re-seeded);
+* a rolling accept/reject window — drives the *failsafe health flag*.
+  Resets clear the streak but not the window, so a filter that is stuck
+  in a reject/reset/reject cycle (violent IMU corruption) still degrades
+  to "failed", while one that recovers after a reset (mild corruption)
+  does not. This split is what lets Acc-Zeros-style faults stay flyable
+  while Min/Max/Random faults escalate to the failsafe, as the paper
+  observes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ChannelHealth:
+    """Rolling statistics for one innovation channel."""
+
+    window_size: int = 25
+    last_test_ratio: float = 0.0
+    peak_test_ratio: float = 0.0
+    consecutive_rejections: int = 0
+    total_rejections: int = 0
+    total_updates: int = 0
+    recent: deque = field(default_factory=lambda: deque(maxlen=25))
+
+    def record(self, test_ratio: float, accepted: bool) -> None:
+        self.last_test_ratio = test_ratio
+        self.peak_test_ratio = max(self.peak_test_ratio, test_ratio)
+        self.total_updates += 1
+        self.recent.append(accepted)
+        if accepted:
+            self.consecutive_rejections = 0
+        else:
+            self.consecutive_rejections += 1
+            self.total_rejections += 1
+
+    @property
+    def rejection_fraction(self) -> float:
+        """Share of rejected updates in the rolling window."""
+        if not self.recent:
+            return 0.0
+        return 1.0 - sum(self.recent) / len(self.recent)
+
+    @property
+    def failed(self) -> bool:
+        """Sustained, near-total rejection in the rolling window."""
+        return len(self.recent) >= 15 and self.rejection_fraction >= 0.8
+
+
+class InnovationMonitor:
+    """Records accept/reject decisions per innovation channel.
+
+    Vector measurements use per-axis channel names (``gps_vel_0`` ...),
+    so a single bad axis cannot hide behind two healthy ones; group
+    queries (:meth:`group_failed`) match on the prefix.
+    """
+
+    def __init__(self) -> None:
+        self.channels: dict[str, ChannelHealth] = defaultdict(ChannelHealth)
+
+    def record(self, channel: str, time_s: float, test_ratio: float, accepted: bool) -> None:
+        """Record one innovation decision."""
+        self.channels[channel].record(test_ratio, accepted)
+
+    def channel_failed(self, channel: str) -> bool:
+        """True when a channel's rolling window shows sustained rejection."""
+        return self.channels[channel].failed
+
+    def group_failed(self, prefix: str) -> bool:
+        """True when any channel named ``prefix`` or ``prefix_*`` failed."""
+        return any(
+            health.failed
+            for name, health in self.channels.items()
+            if name == prefix or name.startswith(prefix + "_")
+        )
+
+    def group_max_consecutive(self, prefix: str) -> int:
+        """Largest per-axis rejection streak in a channel group."""
+        return max(
+            (
+                health.consecutive_rejections
+                for name, health in self.channels.items()
+                if name == prefix or name.startswith(prefix + "_")
+            ),
+            default=0,
+        )
+
+    def clear_group_streaks(self, prefix: str) -> None:
+        """Reset rejection streaks after a state reset (windows persist)."""
+        for name, health in self.channels.items():
+            if name == prefix or name.startswith(prefix + "_"):
+                health.consecutive_rejections = 0
+
+    def any_velocity_position_failed(self) -> bool:
+        """PX4-style 'filter fault' proxy used by the failsafe engine."""
+        return self.group_failed("gps_pos") or self.group_failed("gps_vel")
+
+    def test_ratio(self, channel: str) -> float:
+        """Most recent normalised innovation test ratio for ``channel``."""
+        return self.channels[channel].last_test_ratio
+
+
+@dataclass
+class EstimatorHealth:
+    """Snapshot of estimator health consumed by the failsafe engine."""
+
+    #: Attitude 1-sigma uncertainty (rad) above which the attitude
+    #: estimate is declared invalid. A gyro-dead vehicle held together by
+    #: GPS-velocity corrections plateaus well below this; only a fully
+    #: dead IMU (no gyro *and* no specific-force observability) crosses it.
+    ATTITUDE_INVALID_STD_RAD = 0.55
+
+    velocity_aiding_failed: bool
+    position_aiding_failed: bool
+    yaw_aiding_failed: bool
+    worst_test_ratio: float
+    attitude_std_rad: float = 0.0
+    imu_stale: bool = False
+
+    @classmethod
+    def from_monitor(
+        cls,
+        monitor: InnovationMonitor,
+        attitude_std_rad: float = 0.0,
+        imu_stale: bool = False,
+    ) -> "EstimatorHealth":
+        worst = max(
+            (ch.last_test_ratio for ch in monitor.channels.values()), default=0.0
+        )
+        return cls(
+            velocity_aiding_failed=monitor.group_failed("gps_vel"),
+            position_aiding_failed=monitor.group_failed("gps_pos"),
+            yaw_aiding_failed=monitor.group_failed("mag"),
+            worst_test_ratio=worst,
+            attitude_std_rad=attitude_std_rad,
+            imu_stale=imu_stale,
+        )
+
+    @property
+    def attitude_invalid(self) -> bool:
+        """True when the attitude estimate is too uncertain to fly on."""
+        return self.attitude_std_rad > self.ATTITUDE_INVALID_STD_RAD
+
+    @property
+    def degraded(self) -> bool:
+        """True when any aiding source or the attitude estimate failed."""
+        return (
+            self.velocity_aiding_failed
+            or self.position_aiding_failed
+            or self.yaw_aiding_failed
+            or self.attitude_invalid
+            or self.imu_stale
+        )

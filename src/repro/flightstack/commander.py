@@ -1,0 +1,226 @@
+"""The commander: flight phases, mission supervision, outcome verdicts."""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.flightstack.navigator import Navigator
+from repro.flightstack.params import FlightParams
+from repro.missions.plan import MissionPlan
+
+
+class FlightPhase(enum.Enum):
+    """Commander flight phases (PX4 nav-state analogue)."""
+
+    PREFLIGHT = "preflight"
+    TAKEOFF = "takeoff"
+    MISSION = "mission"
+    LANDING = "landing"
+    LANDED = "landed"
+    FAILSAFE_LAND = "failsafe_land"
+    CRASHED = "crashed"
+
+
+class MissionOutcome(enum.Enum):
+    """Terminal mission verdict, the paper's outcome classification.
+
+    ``COMPLETED`` means neither crashed nor failsafe-enabled (Sec.
+    III-D.3). ``FAILSAFE`` covers any run in which the failsafe engaged,
+    even if the emergency landing then succeeded. ``TIMEOUT`` marks runs
+    that never terminated (vehicle lost without impact); the failure
+    analysis counts these with failsafe activations.
+    """
+
+    COMPLETED = "completed"
+    CRASHED = "crashed"
+    FAILSAFE = "failsafe"
+    TIMEOUT = "timeout"
+
+
+@dataclass
+class CommanderOutput:
+    """Setpoints handed to the position controller this cycle."""
+
+    position_sp_ned: np.ndarray
+    velocity_ff_ned: np.ndarray
+    yaw_sp_rad: float
+    cruise_speed_m_s: float
+    thrust_idle: bool = False
+
+
+class Commander:
+    """Supervises one mission from arming to a terminal verdict."""
+
+    def __init__(self, plan: MissionPlan, params: FlightParams | None = None):
+        self.plan = plan
+        self.params = params or FlightParams()
+        self.navigator = Navigator(plan)
+        self.phase = FlightPhase.PREFLIGHT
+        self.outcome: MissionOutcome | None = None
+        self.takeoff_time_s: float | None = None
+        self.end_time_s: float | None = None
+        self._ground_since: float | None = None
+        self._failsafe_hold_xy: np.ndarray | None = None
+        # Hold the pad heading (toward the first cruise leg) until the
+        # navigator provides a track heading; commanding yaw 0 here would
+        # slew the vehicle through a large yaw change during the climb.
+        first = plan.waypoints[0].array
+        second = plan.waypoints[1].array
+        self._yaw_hold = math.atan2(second[1] - first[1], second[0] - first[0])
+        self._timeout_s = max(
+            self.params.mission_timeout_min_s,
+            plan.estimated_duration_s() * self.params.mission_timeout_factor,
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def terminal(self) -> bool:
+        """True once the mission has a verdict."""
+        return self.outcome is not None
+
+    @property
+    def in_flight(self) -> bool:
+        """True in the phases where failure detection is armed."""
+        return self.phase in (FlightPhase.TAKEOFF, FlightPhase.MISSION, FlightPhase.LANDING)
+
+    def arm_and_takeoff(self, time_s: float) -> None:
+        """Arm the vehicle and begin the takeoff climb."""
+        if self.phase != FlightPhase.PREFLIGHT:
+            raise RuntimeError(f"cannot take off from phase {self.phase}")
+        self.phase = FlightPhase.TAKEOFF
+        self.takeoff_time_s = time_s
+
+    # ------------------------------------------------------------------
+
+    def update(
+        self,
+        time_s: float,
+        position_est_ned: np.ndarray,
+        on_ground: bool,
+        failsafe_engaged: bool,
+        crashed: bool,
+    ) -> CommanderOutput:
+        """Advance the phase machine and emit setpoints.
+
+        ``position_est_ned`` is the EKF estimate — the commander, like
+        PX4, flies the estimate, not the truth. ``on_ground`` comes from
+        the land detector; ``crashed`` from the crash detector.
+        """
+        if crashed and self.phase not in (FlightPhase.CRASHED, FlightPhase.LANDED):
+            # A failsafe that was already executing keeps its verdict even
+            # if the emergency landing ends in a hard impact (the paper
+            # counts failsafe activation, not its landing quality).
+            already_failsafe = self.phase == FlightPhase.FAILSAFE_LAND
+            self.phase = FlightPhase.CRASHED
+            self.outcome = (
+                MissionOutcome.FAILSAFE if already_failsafe else MissionOutcome.CRASHED
+            )
+            self.end_time_s = time_s
+
+        if self.terminal:
+            return self._idle_output(position_est_ned)
+
+        if failsafe_engaged and self.phase in (
+            FlightPhase.TAKEOFF,
+            FlightPhase.MISSION,
+            FlightPhase.LANDING,
+        ):
+            self.phase = FlightPhase.FAILSAFE_LAND
+            self._failsafe_hold_xy = position_est_ned[:2].copy()
+
+        if time_s - (self.takeoff_time_s or 0.0) > self._timeout_s:
+            self.outcome = MissionOutcome.TIMEOUT
+            self.end_time_s = time_s
+            return self._idle_output(position_est_ned)
+
+        handler = {
+            FlightPhase.PREFLIGHT: self._run_preflight,
+            FlightPhase.TAKEOFF: self._run_takeoff,
+            FlightPhase.MISSION: self._run_mission,
+            FlightPhase.LANDING: self._run_landing,
+            FlightPhase.FAILSAFE_LAND: self._run_failsafe_land,
+        }[self.phase]
+        return handler(time_s, position_est_ned, on_ground)
+
+    # ------------------------------------------------------------------
+    # Phase handlers
+    # ------------------------------------------------------------------
+
+    def _run_preflight(
+        self, time_s: float, position: np.ndarray, on_ground: bool
+    ) -> CommanderOutput:
+        return self._idle_output(position)
+
+    def _run_takeoff(
+        self, time_s: float, position: np.ndarray, on_ground: bool
+    ) -> CommanderOutput:
+        home = self.plan.home_ned
+        target = np.array([home[0], home[1], -self.plan.cruise_altitude_m])
+        if abs(position[2] - target[2]) < self.params.takeoff_accept_m:
+            self.phase = FlightPhase.MISSION
+            return self._run_mission(time_s, position, on_ground)
+        ff = np.array([0.0, 0.0, -self.params.takeoff_speed_m_s])
+        return CommanderOutput(target, ff, self._yaw_hold, 2.0)
+
+    def _run_mission(
+        self, time_s: float, position: np.ndarray, on_ground: bool
+    ) -> CommanderOutput:
+        nav = self.navigator.update(position)
+        self._yaw_hold = nav.yaw_sp_rad
+        if self.navigator.mission_done:
+            self.phase = FlightPhase.LANDING
+            return self._run_landing(time_s, position, on_ground)
+        return CommanderOutput(
+            nav.position_sp_ned, nav.velocity_ff_ned, nav.yaw_sp_rad, nav.cruise_speed_m_s
+        )
+
+    def _run_landing(
+        self, time_s: float, position: np.ndarray, on_ground: bool
+    ) -> CommanderOutput:
+        land = self.plan.landing_ned
+        target = np.array([land[0], land[1], 0.5])  # drive slightly below ground
+        ff = np.array([0.0, 0.0, self.params.landing_speed_m_s])
+        if self._ground_dwell(time_s, on_ground):
+            self.phase = FlightPhase.LANDED
+            self.outcome = MissionOutcome.COMPLETED
+            self.end_time_s = time_s
+            return self._idle_output(position)
+        return CommanderOutput(target, ff, self._yaw_hold, 1.5)
+
+    def _run_failsafe_land(
+        self, time_s: float, position: np.ndarray, on_ground: bool
+    ) -> CommanderOutput:
+        assert self._failsafe_hold_xy is not None
+        target = np.array([self._failsafe_hold_xy[0], self._failsafe_hold_xy[1], 0.5])
+        ff = np.array([0.0, 0.0, self.params.fs_descent_speed_m_s])
+        if self._ground_dwell(time_s, on_ground):
+            self.phase = FlightPhase.LANDED
+            self.outcome = MissionOutcome.FAILSAFE
+            self.end_time_s = time_s
+            return self._idle_output(position)
+        return CommanderOutput(target, ff, self._yaw_hold, 2.0)
+
+    # ------------------------------------------------------------------
+
+    def _ground_dwell(self, time_s: float, on_ground: bool) -> bool:
+        """True when the vehicle has stayed on the ground long enough."""
+        if not on_ground:
+            self._ground_since = None
+            return False
+        if self._ground_since is None:
+            self._ground_since = time_s
+        return time_s - self._ground_since >= self.params.disarm_ground_time_s
+
+    def _idle_output(self, position: np.ndarray) -> CommanderOutput:
+        return CommanderOutput(
+            position_sp_ned=position.copy(),
+            velocity_ff_ned=np.zeros(3),
+            yaw_sp_rad=self._yaw_hold,
+            cruise_speed_m_s=0.0,
+            thrust_idle=True,
+        )

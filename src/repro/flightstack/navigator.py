@@ -1,0 +1,125 @@
+"""Waypoint navigation: carrot-on-a-string guidance along the mission."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.missions.plan import MissionPlan
+
+
+@dataclass
+class NavigatorOutput:
+    """Guidance produced each cycle for the position controller."""
+
+    position_sp_ned: np.ndarray
+    velocity_ff_ned: np.ndarray
+    yaw_sp_rad: float
+    cruise_speed_m_s: float
+
+
+class Navigator:
+    """Sequences mission waypoints and produces tracking setpoints.
+
+    Guidance is a carrot point: the vehicle's estimated position is
+    projected onto the active leg and the setpoint is placed a lookahead
+    distance further along it, with a velocity feedforward along the
+    track. This keeps cross-track error small enough that gold runs
+    never leave the inner bubble, which the paper's baseline requires.
+    """
+
+    def __init__(self, plan: MissionPlan, lookahead_s: float = 1.2):
+        self.plan = plan
+        self.lookahead_s = lookahead_s
+        self._index = 0  # active target waypoint
+        first = plan.waypoints[0].array
+        second = plan.waypoints[1].array
+        self._yaw_sp = math.atan2(second[1] - first[1], second[0] - first[0])
+        self._done = False
+
+    @property
+    def active_index(self) -> int:
+        """Index of the waypoint currently being flown to."""
+        return self._index
+
+    @property
+    def mission_done(self) -> bool:
+        """True once the final waypoint has been reached."""
+        return self._done
+
+    def reset(self) -> None:
+        """Restart the mission from the first waypoint."""
+        self._index = 0
+        self._done = False
+
+    def update(self, position_ned: np.ndarray) -> NavigatorOutput:
+        """Advance sequencing and return guidance for this cycle."""
+        waypoints = self.plan.waypoints
+        speed = self.plan.drone.cruise_speed_m_s
+
+        if self._done:
+            target = waypoints[-1].array
+            return NavigatorOutput(target, np.zeros(3), self._yaw_sp, speed)
+
+        target_wp = waypoints[self._index]
+        target = target_wp.array
+        if self._index > 0:
+            prev = waypoints[self._index - 1].array
+        else:
+            # First leg starts wherever the vehicle is (top of climb).
+            prev = position_ned.copy()
+
+        leg = target - prev
+        leg_len = float(np.linalg.norm(leg))
+        to_target = target - position_ned
+        dist_to_target = float(np.linalg.norm(to_target))
+
+        # Waypoint acceptance: close enough, or overshot the leg end.
+        overshot = leg_len > 1e-6 and float((position_ned - target) @ leg) > 0.0
+        if dist_to_target <= target_wp.acceptance_radius_m or overshot:
+            if self._index + 1 < len(waypoints):
+                self._index += 1
+                target_wp = waypoints[self._index]
+                prev = waypoints[self._index - 1].array
+                target = target_wp.array
+                leg = target - prev
+                leg_len = float(np.linalg.norm(leg))
+            else:
+                self._done = True
+                return NavigatorOutput(target, np.zeros(3), self._yaw_sp, speed)
+
+        if leg_len < 1e-6:
+            carrot = target
+            direction = np.zeros(3)
+        else:
+            direction = leg / leg_len
+            along = float((position_ned - prev) @ direction)
+            lookahead = max(2.0, speed * self.lookahead_s)
+            carrot_dist = min(leg_len, along + lookahead)
+            carrot = prev + direction * max(0.0, carrot_dist)
+
+        # Yaw follows the track only when the leg is meaningfully
+        # horizontal; on (near-)vertical legs the horizontal component is
+        # sensor noise and would command random yaw slews.
+        horizontal_sq = direction[0] ** 2 + direction[1] ** 2
+        if leg_len > 1e-6 and horizontal_sq > 0.25:
+            self._yaw_sp = math.atan2(direction[1], direction[0])
+
+        # Decelerate on final approach so the landing transition does not
+        # demand a violent braking manoeuvre.
+        remaining = float(np.linalg.norm(target - position_ned)) + self._distance_after(
+            self._index
+        )
+        speed = min(speed, max(1.0, 0.6 * remaining))
+        velocity_ff = direction * speed
+        return NavigatorOutput(carrot, velocity_ff, self._yaw_sp, speed)
+
+    def _distance_after(self, index: int) -> float:
+        """Route length remaining after waypoint ``index``."""
+        total = 0.0
+        pts = self.plan.waypoints
+        for a, b in zip(pts[index:], pts[index + 1 :]):
+            total += float(np.linalg.norm(b.array - a.array))
+        return total

@@ -1,0 +1,72 @@
+"""Mathematical utilities shared by every subsystem.
+
+The conventions used throughout the code base are fixed here once:
+
+* World frame: **NED** (north, east, down), the PX4 local frame. Altitude
+  above the origin is therefore ``-position[2]``.
+* Body frame: **FRD** (forward, right, down).
+* Quaternions are Hamilton quaternions stored as ``[w, x, y, z]`` and
+  encode the body-to-world rotation: ``v_world = rotate(q, v_body)``.
+* Euler angles are the aerospace ZYX sequence (yaw, pitch, roll).
+"""
+
+from repro.mathutils.quaternion import (
+    quat_identity,
+    quat_normalize,
+    quat_multiply,
+    quat_conjugate,
+    quat_inverse,
+    quat_rotate,
+    quat_rotate_inverse,
+    quat_from_axis_angle,
+    quat_from_euler,
+    quat_to_euler,
+    quat_to_rotation_matrix,
+    quat_from_rotation_matrix,
+    quat_integrate,
+    quat_angle_between,
+    quat_slerp,
+)
+from repro.mathutils.rotations import (
+    rotation_x,
+    rotation_y,
+    rotation_z,
+    skew,
+    unskew,
+    wrap_angle,
+    angle_difference,
+)
+from repro.mathutils.geodesy import GeoPoint, GeodeticReference, EARTH_RADIUS_M
+from repro.mathutils.numerics import clamp, clamp_norm, lerp, is_finite_array
+
+__all__ = [
+    "quat_identity",
+    "quat_normalize",
+    "quat_multiply",
+    "quat_conjugate",
+    "quat_inverse",
+    "quat_rotate",
+    "quat_rotate_inverse",
+    "quat_from_axis_angle",
+    "quat_from_euler",
+    "quat_to_euler",
+    "quat_to_rotation_matrix",
+    "quat_from_rotation_matrix",
+    "quat_integrate",
+    "quat_angle_between",
+    "quat_slerp",
+    "rotation_x",
+    "rotation_y",
+    "rotation_z",
+    "skew",
+    "unskew",
+    "wrap_angle",
+    "angle_difference",
+    "GeoPoint",
+    "GeodeticReference",
+    "EARTH_RADIUS_M",
+    "clamp",
+    "clamp_norm",
+    "lerp",
+    "is_finite_array",
+]

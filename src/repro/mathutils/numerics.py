@@ -1,0 +1,42 @@
+"""Small numeric helpers used across control and estimation code."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into ``[low, high]``.
+
+    Raises :class:`ValueError` if the bounds are inverted; silent bound
+    swapping hides configuration bugs in controller limits.
+    """
+    if low > high:
+        raise ValueError(f"clamp bounds inverted: [{low}, {high}]")
+    return min(max(value, low), high)
+
+
+def clamp_norm(vec: np.ndarray, max_norm: float) -> np.ndarray:
+    """Scale ``vec`` down so its Euclidean norm is at most ``max_norm``.
+
+    Direction is preserved; vectors already inside the bound are returned
+    unchanged (same object, no copy) to keep hot control loops cheap.
+    """
+    if max_norm < 0.0:
+        raise ValueError(f"max_norm must be non-negative, got {max_norm}")
+    norm_sq = float(vec @ vec)
+    if norm_sq <= max_norm * max_norm:
+        return vec
+    return vec * (max_norm / math.sqrt(norm_sq))
+
+
+def lerp(a: float, b: float, t: float) -> float:
+    """Linear interpolation from ``a`` to ``b`` with ``t`` in [0, 1]."""
+    return a + (b - a) * clamp(t, 0.0, 1.0)
+
+
+def is_finite_array(arr: np.ndarray) -> bool:
+    """True when every element of ``arr`` is finite (no NaN/inf)."""
+    return bool(np.isfinite(arr).all())

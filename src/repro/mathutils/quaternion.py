@@ -1,0 +1,232 @@
+"""Hamilton quaternion algebra on plain numpy arrays.
+
+Quaternions are ``numpy.ndarray`` of shape ``(4,)`` ordered ``[w, x, y, z]``
+and represent body-to-world rotations (see :mod:`repro.mathutils`). Keeping
+them as raw arrays instead of a class keeps the EKF and simulator inner
+loops allocation-light; all functions return new arrays and never mutate
+their inputs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+def quat_identity() -> np.ndarray:
+    """Return the identity rotation ``[1, 0, 0, 0]``."""
+    return np.array([1.0, 0.0, 0.0, 0.0])
+
+
+def quat_normalize(q: np.ndarray) -> np.ndarray:
+    """Return ``q`` scaled to unit norm.
+
+    A zero (or numerically dead) quaternion normalises to the identity,
+    which is the only safe fallback inside an estimator loop.
+    """
+    q = np.asarray(q, dtype=float)
+    norm = math.sqrt(float(q @ q))
+    if norm < _EPS:
+        return quat_identity()
+    return q / norm
+
+
+def quat_multiply(q1: np.ndarray, q2: np.ndarray) -> np.ndarray:
+    """Hamilton product ``q1 * q2`` (apply ``q2`` first, then ``q1``)."""
+    w1, x1, y1, z1 = q1
+    w2, x2, y2, z2 = q2
+    return np.array(
+        [
+            w1 * w2 - x1 * x2 - y1 * y2 - z1 * z2,
+            w1 * x2 + x1 * w2 + y1 * z2 - z1 * y2,
+            w1 * y2 - x1 * z2 + y1 * w2 + z1 * x2,
+            w1 * z2 + x1 * y2 - y1 * x2 + z1 * w2,
+        ]
+    )
+
+
+def quat_conjugate(q: np.ndarray) -> np.ndarray:
+    """Return the conjugate ``[w, -x, -y, -z]``."""
+    return np.array([q[0], -q[1], -q[2], -q[3]])
+
+
+def quat_inverse(q: np.ndarray) -> np.ndarray:
+    """Return the inverse rotation (conjugate of the normalised input)."""
+    return quat_conjugate(quat_normalize(q))
+
+
+def quat_rotate(q: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Rotate body-frame vector ``v`` into the world frame.
+
+    Uses the expanded rotation formula (no intermediate quaternion
+    products), which is the cheapest correct form for 3-vectors.
+    """
+    w, x, y, z = q
+    vx, vy, vz = v
+    # t = 2 * (q_vec x v)
+    tx = 2.0 * (y * vz - z * vy)
+    ty = 2.0 * (z * vx - x * vz)
+    tz = 2.0 * (x * vy - y * vx)
+    # v' = v + w * t + q_vec x t
+    return np.array(
+        [
+            vx + w * tx + (y * tz - z * ty),
+            vy + w * ty + (z * tx - x * tz),
+            vz + w * tz + (x * ty - y * tx),
+        ]
+    )
+
+
+def quat_rotate_inverse(q: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Rotate world-frame vector ``v`` into the body frame."""
+    return quat_rotate(quat_conjugate(q), v)
+
+
+def quat_from_axis_angle(axis: np.ndarray, angle: float) -> np.ndarray:
+    """Quaternion for a rotation of ``angle`` radians about ``axis``."""
+    axis = np.asarray(axis, dtype=float)
+    norm = math.sqrt(float(axis @ axis))
+    if norm < _EPS or abs(angle) < _EPS:
+        return quat_identity()
+    half = 0.5 * angle
+    s = math.sin(half) / norm
+    return np.array([math.cos(half), axis[0] * s, axis[1] * s, axis[2] * s])
+
+
+def quat_from_euler(roll: float, pitch: float, yaw: float) -> np.ndarray:
+    """Quaternion from aerospace ZYX Euler angles (radians)."""
+    cr, sr = math.cos(roll * 0.5), math.sin(roll * 0.5)
+    cp, sp = math.cos(pitch * 0.5), math.sin(pitch * 0.5)
+    cy, sy = math.cos(yaw * 0.5), math.sin(yaw * 0.5)
+    return np.array(
+        [
+            cy * cp * cr + sy * sp * sr,
+            cy * cp * sr - sy * sp * cr,
+            cy * sp * cr + sy * cp * sr,
+            sy * cp * cr - cy * sp * sr,
+        ]
+    )
+
+
+def quat_to_euler(q: np.ndarray) -> tuple[float, float, float]:
+    """Return ``(roll, pitch, yaw)`` in radians for quaternion ``q``.
+
+    Pitch is clamped to +/- pi/2 at the gimbal-lock singularity.
+    """
+    w, x, y, z = quat_normalize(q)
+    roll = math.atan2(2.0 * (w * x + y * z), 1.0 - 2.0 * (x * x + y * y))
+    sinp = 2.0 * (w * y - z * x)
+    if sinp >= 1.0:
+        pitch = math.pi / 2.0
+    elif sinp <= -1.0:
+        pitch = -math.pi / 2.0
+    else:
+        pitch = math.asin(sinp)
+    yaw = math.atan2(2.0 * (w * z + x * y), 1.0 - 2.0 * (y * y + z * z))
+    return roll, pitch, yaw
+
+
+def quat_to_rotation_matrix(q: np.ndarray) -> np.ndarray:
+    """Return the 3x3 body-to-world rotation matrix for ``q``."""
+    w, x, y, z = quat_normalize(q)
+    return np.array(
+        [
+            [1 - 2 * (y * y + z * z), 2 * (x * y - w * z), 2 * (x * z + w * y)],
+            [2 * (x * y + w * z), 1 - 2 * (x * x + z * z), 2 * (y * z - w * x)],
+            [2 * (x * z - w * y), 2 * (y * z + w * x), 1 - 2 * (x * x + y * y)],
+        ]
+    )
+
+
+def quat_from_rotation_matrix(rot: np.ndarray) -> np.ndarray:
+    """Quaternion for a 3x3 rotation matrix (Shepperd's method)."""
+    rot = np.asarray(rot, dtype=float)
+    trace = rot[0, 0] + rot[1, 1] + rot[2, 2]
+    if trace > 0.0:
+        s = math.sqrt(trace + 1.0) * 2.0
+        return quat_normalize(
+            np.array(
+                [
+                    0.25 * s,
+                    (rot[2, 1] - rot[1, 2]) / s,
+                    (rot[0, 2] - rot[2, 0]) / s,
+                    (rot[1, 0] - rot[0, 1]) / s,
+                ]
+            )
+        )
+    if rot[0, 0] > rot[1, 1] and rot[0, 0] > rot[2, 2]:
+        s = math.sqrt(1.0 + rot[0, 0] - rot[1, 1] - rot[2, 2]) * 2.0
+        q = [
+            (rot[2, 1] - rot[1, 2]) / s,
+            0.25 * s,
+            (rot[0, 1] + rot[1, 0]) / s,
+            (rot[0, 2] + rot[2, 0]) / s,
+        ]
+    elif rot[1, 1] > rot[2, 2]:
+        s = math.sqrt(1.0 + rot[1, 1] - rot[0, 0] - rot[2, 2]) * 2.0
+        q = [
+            (rot[0, 2] - rot[2, 0]) / s,
+            (rot[0, 1] + rot[1, 0]) / s,
+            0.25 * s,
+            (rot[1, 2] + rot[2, 1]) / s,
+        ]
+    else:
+        s = math.sqrt(1.0 + rot[2, 2] - rot[0, 0] - rot[1, 1]) * 2.0
+        q = [
+            (rot[1, 0] - rot[0, 1]) / s,
+            (rot[0, 2] + rot[2, 0]) / s,
+            (rot[1, 2] + rot[2, 1]) / s,
+            0.25 * s,
+        ]
+    return quat_normalize(np.array(q))
+
+
+def quat_integrate(q: np.ndarray, omega_body: np.ndarray, dt: float) -> np.ndarray:
+    """Integrate body angular rate ``omega_body`` (rad/s) over ``dt``.
+
+    Uses the exact exponential map of the rotation increment, which stays
+    stable for the large rates produced by gyro Min/Max fault injections.
+    """
+    omega_body = np.asarray(omega_body, dtype=float)
+    angle = math.sqrt(float(omega_body @ omega_body)) * dt
+    if angle < _EPS:
+        dq = np.array(
+            [
+                1.0,
+                0.5 * omega_body[0] * dt,
+                0.5 * omega_body[1] * dt,
+                0.5 * omega_body[2] * dt,
+            ]
+        )
+    else:
+        # quat_from_axis_angle normalises the axis, so this is exactly a
+        # rotation of |omega| * dt about the unit rate direction.
+        dq = quat_from_axis_angle(omega_body, angle)
+    return quat_normalize(quat_multiply(q, dq))
+
+
+def quat_angle_between(q1: np.ndarray, q2: np.ndarray) -> float:
+    """Smallest rotation angle (radians) taking ``q1`` to ``q2``."""
+    dot = abs(float(np.dot(quat_normalize(q1), quat_normalize(q2))))
+    dot = min(1.0, dot)
+    return 2.0 * math.acos(dot)
+
+
+def quat_slerp(q1: np.ndarray, q2: np.ndarray, t: float) -> np.ndarray:
+    """Spherical linear interpolation between ``q1`` and ``q2``."""
+    q1 = quat_normalize(q1)
+    q2 = quat_normalize(q2)
+    dot = float(np.dot(q1, q2))
+    if dot < 0.0:
+        q2 = -q2
+        dot = -dot
+    if dot > 1.0 - 1e-9:
+        return quat_normalize(q1 + t * (q2 - q1))
+    theta = math.acos(min(1.0, dot))
+    sin_theta = math.sin(theta)
+    a = math.sin((1.0 - t) * theta) / sin_theta
+    b = math.sin(t * theta) / sin_theta
+    return quat_normalize(a * q1 + b * q2)

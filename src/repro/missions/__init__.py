@@ -1,0 +1,18 @@
+"""Mission definitions and the paper's Valencia U-space scenario."""
+
+from repro.missions.spec import DroneSpec
+from repro.missions.plan import MissionPlan, Waypoint, route_polyline, polyline_length
+from repro.missions.valencia import valencia_missions, VALENCIA_ORIGIN
+from repro.missions.plan_io import save_plans, load_plans
+
+__all__ = [
+    "DroneSpec",
+    "MissionPlan",
+    "Waypoint",
+    "route_polyline",
+    "polyline_length",
+    "valencia_missions",
+    "VALENCIA_ORIGIN",
+    "save_plans",
+    "load_plans",
+]

@@ -1,0 +1,121 @@
+"""Mission plans: waypoint routes flown by one drone."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.missions.spec import DroneSpec
+
+
+@dataclass(frozen=True)
+class Waypoint:
+    """A 3-D mission waypoint in the local NED frame.
+
+    ``acceptance_radius_m`` is the distance at which the navigator
+    considers the waypoint reached and sequences to the next one.
+    """
+
+    position_ned: tuple[float, float, float]
+    acceptance_radius_m: float = 2.0
+
+    @property
+    def array(self) -> np.ndarray:
+        return np.array(self.position_ned, dtype=float)
+
+
+@dataclass
+class MissionPlan:
+    """One drone's mission: take off, fly the waypoints, land at the end.
+
+    The home position is the ground point below the first waypoint; the
+    landing point is below the last. ``cruise_altitude_m`` is bounded by
+    the scenario ceiling (60 ft in the paper's Valencia zone).
+    """
+
+    mission_id: int
+    drone: DroneSpec
+    waypoints: list[Waypoint]
+    cruise_altitude_m: float = 15.0
+    has_turns: bool = field(default=False)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.waypoints) < 2:
+            raise ValueError("a mission needs at least two waypoints")
+        if self.cruise_altitude_m <= 0.0:
+            raise ValueError("cruise_altitude_m must be positive")
+
+    @property
+    def home_ned(self) -> np.ndarray:
+        """Ground position below the first waypoint (NED, z = 0)."""
+        first = self.waypoints[0].array
+        return np.array([first[0], first[1], 0.0])
+
+    @property
+    def landing_ned(self) -> np.ndarray:
+        """Ground position below the last waypoint (NED, z = 0)."""
+        last = self.waypoints[-1].array
+        return np.array([last[0], last[1], 0.0])
+
+    @property
+    def cruise_length_m(self) -> float:
+        """Length of the cruise polyline (excludes climb and descent)."""
+        return polyline_length([wp.array for wp in self.waypoints])
+
+    @property
+    def total_length_m(self) -> float:
+        """Full route length including vertical climb and descent legs."""
+        return self.cruise_length_m + 2.0 * self.cruise_altitude_m
+
+    def estimated_duration_s(
+        self, climb_speed_m_s: float = 2.0, descent_speed_m_s: float = 1.0
+    ) -> float:
+        """Rough gold-run duration estimate used for mission timeouts."""
+        return (
+            self.cruise_altitude_m / climb_speed_m_s
+            + self.cruise_length_m / self.drone.cruise_speed_m_s
+            + self.cruise_altitude_m / descent_speed_m_s
+            + 10.0
+        )
+
+
+def route_polyline(plan: MissionPlan) -> list[np.ndarray]:
+    """The assigned 3-D route: climb, cruise waypoints, descend.
+
+    This is the reference the bubble monitor measures deviation against;
+    the bubble travels along this polyline with the drone.
+    """
+    points = [plan.home_ned]
+    points.extend(wp.array for wp in plan.waypoints)
+    points.append(plan.landing_ned)
+    return points
+
+
+def polyline_length(points: list[np.ndarray]) -> float:
+    """Sum of segment lengths of a polyline."""
+    total = 0.0
+    for a, b in zip(points, points[1:]):
+        delta = b - a
+        total += math.sqrt(float(delta @ delta))
+    return total
+
+
+def distance_to_polyline(point: np.ndarray, polyline: list[np.ndarray]) -> float:
+    """Shortest 3-D distance from ``point`` to a polyline chain."""
+    best = math.inf
+    for a, b in zip(polyline, polyline[1:]):
+        seg = b - a
+        seg_len_sq = float(seg @ seg)
+        if seg_len_sq < 1e-12:
+            candidate = point - a
+        else:
+            t = float((point - a) @ seg) / seg_len_sq
+            t = min(1.0, max(0.0, t))
+            candidate = point - (a + t * seg)
+        dist = math.sqrt(float(candidate @ candidate))
+        if dist < best:
+            best = dist
+    return best

@@ -1,0 +1,120 @@
+"""Mission-plan persistence: geodetic flight plans as JSON.
+
+U-space operations are filed as geodetic flight plans; this module
+serialises :class:`~repro.missions.plan.MissionPlan` objects to a
+self-describing JSON document (waypoints as lat/lon/alt against a named
+reference origin) and back. Round-trips are exact to sub-centimetre
+because the local frame is re-anchored at the same origin.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.mathutils import GeoPoint, GeodeticReference
+from repro.missions.plan import MissionPlan, Waypoint
+from repro.missions.spec import DroneSpec
+
+_SCHEMA_VERSION = 1
+
+
+def plan_to_dict(plan: MissionPlan, reference: GeodeticReference) -> dict:
+    """Serialise one plan against a geodetic reference origin."""
+    waypoints = []
+    for wp in plan.waypoints:
+        point = reference.to_geodetic(wp.array)
+        waypoints.append(
+            {
+                "latitude_deg": point.latitude_deg,
+                "longitude_deg": point.longitude_deg,
+                "altitude_m": point.altitude_m,
+                "acceptance_radius_m": wp.acceptance_radius_m,
+            }
+        )
+    drone = plan.drone
+    return {
+        "mission_id": plan.mission_id,
+        "description": plan.description,
+        "cruise_altitude_m": plan.cruise_altitude_m,
+        "has_turns": plan.has_turns,
+        "drone": {
+            "drone_id": drone.drone_id,
+            "name": drone.name,
+            "cruise_speed_m_s": drone.cruise_speed_m_s,
+            "top_speed_m_s": drone.top_speed_m_s,
+            "mass_kg": drone.mass_kg,
+            "dimension_m": drone.dimension_m,
+            "safety_distance_m": drone.safety_distance_m,
+        },
+        "waypoints": waypoints,
+    }
+
+
+def plan_from_dict(data: dict, reference: GeodeticReference) -> MissionPlan:
+    """Inverse of :func:`plan_to_dict`."""
+    drone_data = data["drone"]
+    drone = DroneSpec(
+        drone_id=drone_data["drone_id"],
+        name=drone_data["name"],
+        cruise_speed_m_s=drone_data["cruise_speed_m_s"],
+        top_speed_m_s=drone_data["top_speed_m_s"],
+        mass_kg=drone_data["mass_kg"],
+        dimension_m=drone_data["dimension_m"],
+        safety_distance_m=drone_data["safety_distance_m"],
+    )
+    waypoints = []
+    for wp in data["waypoints"]:
+        ned = reference.to_local(
+            GeoPoint(wp["latitude_deg"], wp["longitude_deg"], wp["altitude_m"])
+        )
+        waypoints.append(
+            Waypoint(
+                position_ned=(float(ned[0]), float(ned[1]), float(ned[2])),
+                acceptance_radius_m=wp["acceptance_radius_m"],
+            )
+        )
+    return MissionPlan(
+        mission_id=data["mission_id"],
+        drone=drone,
+        waypoints=waypoints,
+        cruise_altitude_m=data["cruise_altitude_m"],
+        has_turns=data["has_turns"],
+        description=data["description"],
+    )
+
+
+def save_plans(
+    plans: list[MissionPlan], origin: GeoPoint, path: str | Path
+) -> None:
+    """Write a scenario (several plans + shared origin) to JSON."""
+    reference = GeodeticReference(origin)
+    payload = {
+        "schema_version": _SCHEMA_VERSION,
+        "origin": {
+            "latitude_deg": origin.latitude_deg,
+            "longitude_deg": origin.longitude_deg,
+            "altitude_m": origin.altitude_m,
+        },
+        "plans": [plan_to_dict(plan, reference) for plan in plans],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_plans(path: str | Path) -> tuple[list[MissionPlan], GeoPoint]:
+    """Read a scenario written by :func:`save_plans`."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("schema_version")
+    if version != _SCHEMA_VERSION:
+        raise ValueError(f"unsupported flight-plan schema version {version!r}")
+    origin_data = payload["origin"]
+    origin = GeoPoint(
+        origin_data["latitude_deg"],
+        origin_data["longitude_deg"],
+        origin_data["altitude_m"],
+    )
+    reference = GeodeticReference(origin)
+    plans = [plan_from_dict(p, reference) for p in payload["plans"]]
+    return plans, origin

@@ -1,0 +1,41 @@
+"""Barometric altimeter model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class BarometerParams:
+    """Baro error model: white noise plus a slow pressure-drift walk."""
+
+    rate_hz: float = 20.0
+    noise_m: float = 0.15
+    drift_rate_m_sqrt_s: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.rate_hz <= 0.0:
+            raise ValueError("rate_hz must be positive")
+
+
+class Barometer:
+    """Measures altitude above the origin (positive up) at ``rate_hz``."""
+
+    def __init__(self, params: BarometerParams | None = None, seed: int = 0):
+        self.params = params or BarometerParams()
+        self._rng = np.random.default_rng(seed)
+        self._interval = 1.0 / self.params.rate_hz
+        self._next_sample_time = 0.0
+        self._drift = 0.0
+
+    def maybe_sample(self, time_s: float, altitude_m: float) -> float | None:
+        """Return a noisy altitude (m) if a sample is due, else ``None``."""
+        if time_s + 1e-9 < self._next_sample_time:
+            return None
+        self._next_sample_time = time_s + self._interval
+        self._drift += self._rng.normal(
+            0.0, self.params.drift_rate_m_sqrt_s * np.sqrt(self._interval)
+        )
+        return altitude_m + self._drift + self._rng.normal(0.0, self.params.noise_m)

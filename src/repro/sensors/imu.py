@@ -1,0 +1,142 @@
+"""Inertial measurement unit: accelerometer + gyroscope triads.
+
+The measurement ranges configured here are what give the paper's
+``Min`` / ``Max`` / ``Random``-in-range fault behaviours their physical
+values: a ``Gyro Max`` injection emits the gyroscope's positive
+saturation limit on all three axes, exactly as a saturated or attacked
+MEMS part would.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sim.environment import GRAVITY_M_S2
+
+
+@dataclass
+class TriadSensorParams:
+    """Imperfection model shared by both 3-axis inertial sensors.
+
+    Attributes:
+        measurement_range: symmetric saturation limit (sensor units); the
+            sensor reports values in ``[-range, +range]``.
+        noise_density: standard deviation of per-sample white noise.
+        bias_sigma: standard deviation of the constant turn-on bias drawn
+            once per run.
+        bias_instability: random-walk rate of the slowly wandering bias.
+    """
+
+    measurement_range: float
+    noise_density: float
+    bias_sigma: float
+    bias_instability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.measurement_range <= 0.0:
+            raise ValueError("measurement_range must be positive")
+        if self.noise_density < 0.0 or self.bias_sigma < 0.0:
+            raise ValueError("noise parameters must be non-negative")
+
+
+class _TriadSensor:
+    """A 3-axis sensor with turn-on bias, white noise, and saturation."""
+
+    def __init__(self, params: TriadSensorParams, rng: np.random.Generator):
+        self.params = params
+        self._rng = rng
+        self.bias = rng.normal(0.0, params.bias_sigma, size=3)
+
+    def sample(self, true_value: np.ndarray, dt: float) -> np.ndarray:
+        """Measure ``true_value``, returning a new corrupted array."""
+        p = self.params
+        if p.bias_instability > 0.0:
+            self.bias = self.bias + self._rng.normal(
+                0.0, p.bias_instability * math.sqrt(dt), size=3
+            )
+        noisy = true_value + self.bias + self._rng.normal(0.0, p.noise_density, size=3)
+        return np.clip(noisy, -p.measurement_range, p.measurement_range)
+
+
+class Accelerometer(_TriadSensor):
+    """3-axis accelerometer measuring specific force (m/s^2, body FRD)."""
+
+
+class Gyroscope(_TriadSensor):
+    """3-axis gyroscope measuring angular rate (rad/s, body FRD)."""
+
+
+@dataclass
+class ImuParams:
+    """Combined IMU configuration.
+
+    Defaults model a tactical-grade consumer MEMS part: +/-16 g
+    accelerometer, +/-2000 deg/s gyroscope — the ranges that bound the
+    paper's Min/Max/Random fault values.
+    """
+
+    accel: TriadSensorParams = field(
+        default_factory=lambda: TriadSensorParams(
+            measurement_range=16.0 * GRAVITY_M_S2,
+            noise_density=0.05,
+            bias_sigma=0.03,
+            bias_instability=0.0005,
+        )
+    )
+    gyro: TriadSensorParams = field(
+        default_factory=lambda: TriadSensorParams(
+            measurement_range=math.radians(2000.0),
+            noise_density=0.003,
+            bias_sigma=0.002,
+            bias_instability=5e-5,
+        )
+    )
+
+
+@dataclass
+class ImuSample:
+    """One IMU output sample.
+
+    ``accel`` is specific force in body axes (m/s^2); ``gyro`` is body
+    angular rate (rad/s); ``time_s`` is the sample timestamp.
+    """
+
+    time_s: float
+    accel: np.ndarray
+    gyro: np.ndarray
+
+    def copy(self) -> "ImuSample":
+        return ImuSample(self.time_s, self.accel.copy(), self.gyro.copy())
+
+
+class Imu:
+    """Accelerometer + gyroscope assembly sampled at the physics rate."""
+
+    def __init__(self, params: ImuParams | None = None, seed: int = 0):
+        self.params = params or ImuParams()
+        rng = np.random.default_rng(seed)
+        self.accelerometer = Accelerometer(self.params.accel, rng)
+        self.gyroscope = Gyroscope(self.params.gyro, rng)
+
+    def sample(
+        self, time_s: float, specific_force_body: np.ndarray, angular_rate_body: np.ndarray, dt: float
+    ) -> ImuSample:
+        """Sample both triads against ground truth."""
+        return ImuSample(
+            time_s=time_s,
+            accel=self.accelerometer.sample(specific_force_body, dt),
+            gyro=self.gyroscope.sample(angular_rate_body, dt),
+        )
+
+    @property
+    def accel_range(self) -> float:
+        """Accelerometer saturation limit (m/s^2)."""
+        return self.params.accel.measurement_range
+
+    @property
+    def gyro_range(self) -> float:
+        """Gyroscope saturation limit (rad/s)."""
+        return self.params.gyro.measurement_range

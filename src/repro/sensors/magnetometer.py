@@ -1,0 +1,48 @@
+"""Magnetometer (compass) model.
+
+The paper explicitly excludes the magnetometer from its fault model, but
+the EKF still needs a yaw reference to stay observable, so a clean
+compass is modelled here and never targeted by the injector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mathutils import quat_to_euler, wrap_angle
+
+
+@dataclass
+class MagnetometerParams:
+    """Compass error model: heading noise and a fixed installation bias."""
+
+    rate_hz: float = 20.0
+    heading_noise_rad: float = 0.01
+    heading_bias_rad: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate_hz <= 0.0:
+            raise ValueError("rate_hz must be positive")
+
+
+class Magnetometer:
+    """Produces yaw (heading) measurements from the true attitude."""
+
+    def __init__(self, params: MagnetometerParams | None = None, seed: int = 0):
+        self.params = params or MagnetometerParams()
+        self._rng = np.random.default_rng(seed)
+        self._interval = 1.0 / self.params.rate_hz
+        self._next_sample_time = 0.0
+
+    def maybe_sample(self, time_s: float, quaternion: np.ndarray) -> float | None:
+        """Return a noisy yaw (rad, wrapped) if a sample is due."""
+        if time_s + 1e-9 < self._next_sample_time:
+            return None
+        self._next_sample_time = time_s + self._interval
+        _, _, yaw = quat_to_euler(quaternion)
+        noisy = yaw + self.params.heading_bias_rad + self._rng.normal(
+            0.0, self.params.heading_noise_rad
+        )
+        return wrap_angle(noisy)

@@ -1,0 +1,70 @@
+"""World environment: gravity, air density, and a stochastic wind model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Standard gravitational acceleration (m/s^2), positive magnitude.
+GRAVITY_M_S2 = 9.80665
+
+#: Sea-level air density (kg/m^3) used by the drag model.
+AIR_DENSITY_KG_M3 = 1.225
+
+
+class WindModel:
+    """Constant wind plus Ornstein-Uhlenbeck gusts.
+
+    Each axis of the gust vector follows an OU process
+    ``dg = -g/tau * dt + sigma * sqrt(2*dt/tau) * N(0,1)``, giving
+    band-limited turbulence with stationary standard deviation ``sigma``.
+    The model is deterministic for a given seed, which the campaign
+    runner relies on for reproducible experiments.
+    """
+
+    def __init__(
+        self,
+        mean_wind_ned: np.ndarray | None = None,
+        gust_sigma_m_s: float = 0.3,
+        gust_tau_s: float = 3.0,
+        seed: int = 0,
+    ):
+        self.mean_wind_ned = (
+            np.zeros(3) if mean_wind_ned is None else np.asarray(mean_wind_ned, dtype=float)
+        )
+        if gust_sigma_m_s < 0.0:
+            raise ValueError("gust_sigma_m_s must be non-negative")
+        if gust_tau_s <= 0.0:
+            raise ValueError("gust_tau_s must be positive")
+        self.gust_sigma_m_s = gust_sigma_m_s
+        self.gust_tau_s = gust_tau_s
+        self._rng = np.random.default_rng(seed)
+        self._gust = np.zeros(3)
+
+    def step(self, dt: float) -> np.ndarray:
+        """Advance the gust process and return the current wind (NED m/s)."""
+        if self.gust_sigma_m_s > 0.0:
+            decay = dt / self.gust_tau_s
+            noise = self._rng.standard_normal(3)
+            self._gust += -self._gust * decay + self.gust_sigma_m_s * np.sqrt(2.0 * decay) * noise
+        return self.mean_wind_ned + self._gust
+
+    @property
+    def current_wind_ned(self) -> np.ndarray:
+        """Wind vector from the most recent :meth:`step` (NED m/s)."""
+        return self.mean_wind_ned + self._gust
+
+
+@dataclass
+class Environment:
+    """Bundle of environmental conditions for one simulation run."""
+
+    gravity_m_s2: float = GRAVITY_M_S2
+    air_density_kg_m3: float = AIR_DENSITY_KG_M3
+    wind: WindModel = field(default_factory=WindModel)
+
+    @property
+    def gravity_ned(self) -> np.ndarray:
+        """Gravity acceleration vector in NED (down positive)."""
+        return np.array([0.0, 0.0, self.gravity_m_s2])

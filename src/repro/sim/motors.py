@@ -1,0 +1,80 @@
+"""Rotor/motor actuation model.
+
+Each motor is commanded with a normalised setpoint in ``[0, 1]`` and
+responds with first-order lag, producing thrust proportional to the
+square of its effective command (a standard static rotor map). The yaw
+reaction torque is proportional to thrust via the rotor drag ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mathutils import clamp
+
+
+@dataclass
+class MotorModel:
+    """Parameters of a single rotor + ESC + propeller unit.
+
+    Attributes:
+        max_thrust_n: thrust at full command (Newtons).
+        time_constant_s: first-order response time constant.
+        torque_ratio_m: yaw reaction torque per Newton of thrust
+            (metres); sign is applied by the airframe's spin layout.
+    """
+
+    max_thrust_n: float = 8.0
+    time_constant_s: float = 0.04
+    torque_ratio_m: float = 0.016
+
+    def __post_init__(self) -> None:
+        if self.max_thrust_n <= 0.0:
+            raise ValueError("max_thrust_n must be positive")
+        if self.time_constant_s <= 0.0:
+            raise ValueError("time_constant_s must be positive")
+
+
+class MotorBank:
+    """The set of four motors with shared dynamics.
+
+    Tracks each motor's lagged internal command and converts commands to
+    per-motor thrust. Commands outside [0, 1] are clamped, mirroring ESC
+    saturation.
+    """
+
+    def __init__(self, model: MotorModel, count: int = 4):
+        if count < 1:
+            raise ValueError("motor count must be >= 1")
+        self.model = model
+        self.count = count
+        self._effective = np.zeros(count)
+
+    def reset(self) -> None:
+        """Return all motors to zero output (disarmed)."""
+        self._effective[:] = 0.0
+
+    def step(self, commands: np.ndarray, dt: float) -> np.ndarray:
+        """Advance motor lag and return per-motor thrust (Newtons).
+
+        Args:
+            commands: normalised motor setpoints, clamped to [0, 1].
+            dt: integration step (seconds).
+        """
+        commands = np.clip(np.asarray(commands, dtype=float), 0.0, 1.0)
+        if commands.shape != (self.count,):
+            raise ValueError(f"expected {self.count} motor commands, got {commands.shape}")
+        alpha = clamp(dt / self.model.time_constant_s, 0.0, 1.0)
+        self._effective += alpha * (commands - self._effective)
+        return self.model.max_thrust_n * self._effective**2
+
+    @property
+    def effective_commands(self) -> np.ndarray:
+        """Current lagged commands (copy)."""
+        return self._effective.copy()
+
+    def thrusts(self) -> np.ndarray:
+        """Thrust produced at the current lagged commands (no stepping)."""
+        return self.model.max_thrust_n * self._effective**2

@@ -1,0 +1,319 @@
+"""`UavSystem`: one simulated vehicle with its full PX4-like stack.
+
+Wires together, in the paper's architecture (Fig. 1):
+
+    physics (truth) -> sensors -> **fault injector** -> EKF -> outer
+    control loops -> attitude loop -> rate loop (raw gyro!) -> mixer ->
+    physics
+
+plus the commander/navigator/failsafe vehicle management, the bubble
+monitor fed at U-space tracking instances, the flight recorder, and an
+optional telemetry broker.
+
+The loop runs at a fixed 100 Hz physics/control rate with GPS at 5 Hz,
+baro/mag at 20 Hz, and tracking at 1 Hz.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.control import (
+    AttitudeController,
+    Mixer,
+    PositionController,
+    PositionControllerParams,
+    RateController,
+)
+from repro.core.faults import FaultSpec
+from repro.core.injector import SensorFaultInjector
+from repro.estimation import Ekf, EkfParams, EstimatorHealth
+from repro.flightstack import (
+    Commander,
+    CrashDetector,
+    FailsafeEngine,
+    FlightParams,
+    FlightPhase,
+    MissionOutcome,
+)
+from repro.missions.plan import MissionPlan
+from repro.sensors import Barometer, GpsModel, Imu, Magnetometer
+from repro.sim import (
+    AirframeParams,
+    Environment,
+    QuadrotorAirframe,
+    QuadrotorPhysics,
+    RigidBodyState,
+    WindModel,
+)
+from repro.telemetry import Broker, FlightRecorder, TrackMessage
+from repro.uspace import BubbleMonitor
+
+
+@dataclass
+class SystemConfig:
+    """Rates, seeds, and parameter overrides for one vehicle run."""
+
+    physics_dt_s: float = 0.01
+    tracking_interval_s: float = 1.0
+    recorder_rate_hz: float = 5.0
+    risk_factor: float = 1.0
+    seed: int = 0
+    wind_gust_sigma_m_s: float = 0.25
+    flight_params: FlightParams = field(default_factory=FlightParams)
+    ekf_params: EkfParams = field(default_factory=EkfParams)
+    #: Ablation switch: when False the attitude loop always runs at full
+    #: gain, ignoring the estimator's attitude confidence.
+    confidence_scheduling: bool = True
+
+    def __post_init__(self) -> None:
+        if self.physics_dt_s <= 0.0:
+            raise ValueError("physics_dt_s must be positive")
+
+
+@dataclass
+class MissionResult:
+    """Everything the paper's metrics need from one run."""
+
+    mission_id: int
+    outcome: MissionOutcome
+    flight_duration_s: float
+    distance_km: float
+    inner_violations: int
+    outer_violations: int
+    tracking_instances: int
+    max_deviation_m: float
+    crash_time_s: float | None
+    failsafe_time_s: float | None
+    fault_label: str
+
+    @property
+    def completed(self) -> bool:
+        return self.outcome == MissionOutcome.COMPLETED
+
+
+class UavSystem:
+    """One vehicle, one mission, one (optional) fault injection."""
+
+    def __init__(
+        self,
+        plan: MissionPlan,
+        config: SystemConfig | None = None,
+        fault: FaultSpec | None = None,
+        broker: Broker | None = None,
+    ):
+        self.plan = plan
+        self.config = config or SystemConfig()
+        cfg = self.config
+        seed = cfg.seed + plan.mission_id * 1009
+
+        airframe = QuadrotorAirframe(AirframeParams(mass_kg=plan.drone.mass_kg))
+        environment = Environment(
+            wind=WindModel(gust_sigma_m_s=cfg.wind_gust_sigma_m_s, seed=seed + 1)
+        )
+        initial_yaw = self._initial_yaw(plan)
+        initial = RigidBodyState()
+        initial.position_ned = plan.home_ned.copy()
+        from repro.mathutils import quat_from_euler
+
+        initial.quaternion = quat_from_euler(0.0, 0.0, initial_yaw)
+        self.physics = QuadrotorPhysics(airframe, environment, initial)
+
+        self.imu = Imu(seed=seed + 2)
+        self.gps = GpsModel(seed=seed + 3)
+        self.baro = Barometer(seed=seed + 4)
+        self.mag = Magnetometer(seed=seed + 5)
+        self.injector = SensorFaultInjector(fault, self.imu.accel_range, self.imu.gyro_range)
+        self.fault = fault
+
+        self.ekf = Ekf(
+            params=cfg.ekf_params,
+            initial_position_ned=plan.home_ned,
+            initial_yaw_rad=initial_yaw,
+        )
+
+        pos_params = PositionControllerParams(
+            max_speed_xy_m_s=plan.drone.top_speed_m_s,
+        )
+        self.position_controller = PositionController(
+            params=pos_params,
+            mass_kg=plan.drone.mass_kg,
+            max_total_thrust_n=4.0 * airframe.params.motor.max_thrust_n,
+        )
+        self.attitude_controller = AttitudeController()
+        self.rate_controller = RateController()
+        self.mixer = Mixer()
+
+        self.commander = Commander(plan, cfg.flight_params)
+        self.failsafe = FailsafeEngine(cfg.flight_params)
+        self.crash_detector = CrashDetector()
+        self.bubble_monitor = BubbleMonitor(
+            plan, tracking_interval_s=cfg.tracking_interval_s, risk_factor=cfg.risk_factor
+        )
+        self.recorder = FlightRecorder(rate_hz=cfg.recorder_rate_hz)
+        self.broker = broker
+        self._last_gyro = np.zeros(3)
+
+    @staticmethod
+    def _initial_yaw(plan: MissionPlan) -> float:
+        """Face the first leg before takeoff, like a pre-armed PX4 vehicle."""
+        first = plan.waypoints[0].array
+        second = plan.waypoints[1].array
+        return math.atan2(second[1] - first[1], second[0] - first[0])
+
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance the whole system by one physics tick."""
+        cfg = self.config
+        dt = cfg.physics_dt_s
+        t = self.physics.time_s
+        truth = self.physics.state
+
+        # 1. Sensing (+ fault injection on the IMU path).
+        clean = self.imu.sample(t, self.physics.specific_force_body, truth.angular_rate_body, dt)
+        imu_sample = self.injector.apply(clean)
+        self._last_gyro = imu_sample.gyro
+
+        # 2. Estimation.
+        self.ekf.predict(imu_sample, dt)
+        fix = self.gps.maybe_sample(t, truth.position_ned, truth.velocity_ned)
+        if fix is not None:
+            self.ekf.update_gps(fix)
+        alt = self.baro.maybe_sample(t, truth.altitude_m)
+        if alt is not None:
+            self.ekf.update_baro(alt)
+        yaw = self.mag.maybe_sample(t, truth.quaternion)
+        if yaw is not None:
+            self.ekf.update_mag_yaw(yaw)
+            self.ekf.update_gravity_tilt(imu_sample.accel, imu_sample.gyro)
+
+        est = self.ekf.state
+        est_tilt = self._estimated_tilt()
+
+        # 3. Vehicle management.
+        health = EstimatorHealth.from_monitor(
+            self.ekf.monitor,
+            attitude_std_rad=self.ekf.attitude_std_rad,
+            imu_stale=self.ekf.imu_stale_latched,
+        )
+        # Failure detection arms only clear of the ground: takeoff and
+        # touchdown transients produce legitimate rate spikes (PX4
+        # equally suppresses failure detection while landed).
+        airborne = not self.physics.on_ground and truth.altitude_m > 2.0
+        self.failsafe.update(
+            t,
+            imu_sample.gyro,
+            est_tilt,
+            health,
+            in_flight=self.commander.in_flight and airborne,
+        )
+        landing_expected = self.commander.phase in (
+            FlightPhase.LANDING,
+            FlightPhase.FAILSAFE_LAND,
+        )
+        self.crash_detector.assess_contact(self.physics.last_contact, landing_expected)
+        out = self.commander.update(
+            t,
+            est.position_ned,
+            on_ground=self.physics.on_ground,
+            failsafe_engaged=self.failsafe.engaged,
+            crashed=self.crash_detector.crashed,
+        )
+
+        # 4. Control cascade.
+        if out.thrust_idle:
+            motors = np.zeros(4)
+        else:
+            vel_sp = self.position_controller.velocity_setpoint(
+                out.position_sp_ned,
+                est.position_ned,
+                feedforward_ned=out.velocity_ff_ned,
+                cruise_speed_m_s=out.cruise_speed_m_s or None,
+            )
+            accel_sp = self.position_controller.acceleration_setpoint(
+                vel_sp, est.velocity_ned, dt
+            )
+            collective, q_sp = self.position_controller.thrust_and_attitude(
+                accel_sp, out.yaw_sp_rad
+            )
+            confidence = (
+                self.ekf.attitude_confidence if cfg.confidence_scheduling else 1.0
+            )
+            rate_sp = self.attitude_controller.rate_setpoint(
+                est.quaternion, q_sp, confidence=confidence
+            )
+            torque = self.rate_controller.torque_command(rate_sp, imu_sample.gyro, dt)
+            motors = self.mixer.mix(collective, torque)
+
+        # 5. Physics.
+        self.physics.step(motors, dt)
+
+        # 6. Surveillance and logging (reported = estimated state).
+        airspeed = float(np.linalg.norm(est.velocity_ned))
+        point = self.bubble_monitor.maybe_track(t, est.position_ned, airspeed)
+        if point is not None and self.broker is not None:
+            self.broker.publish(
+                f"track/{self.plan.mission_id}",
+                TrackMessage(
+                    drone_id=self.plan.mission_id,
+                    time_s=t,
+                    position_ned=tuple(est.position_ned),
+                    velocity_ned=tuple(est.velocity_ned),
+                    airspeed_m_s=airspeed,
+                ),
+            )
+        self.recorder.maybe_record(
+            t,
+            truth.position_ned,
+            est.position_ned,
+            truth.velocity_ned,
+            est.velocity_ned,
+            truth.tilt_rad,
+            self.commander.phase.value,
+            self.injector.is_active(t),
+        )
+
+    def _estimated_tilt(self) -> float:
+        """Tilt angle of the EKF attitude estimate."""
+        w, x, y, z = self.ekf.quaternion
+        cos_tilt = 1.0 - 2.0 * (x * x + y * y)
+        return math.acos(min(1.0, max(-1.0, cos_tilt)))
+
+    # ------------------------------------------------------------------
+
+    def run(self, max_time_s: float | None = None) -> MissionResult:
+        """Fly the mission to a terminal verdict and compute the metrics."""
+        self.commander.arm_and_takeoff(self.physics.time_s)
+        params = self.config.flight_params
+        hard_cap = max_time_s or max(
+            params.mission_timeout_min_s + 60.0,
+            self.plan.estimated_duration_s() * (params.mission_timeout_factor + 0.5),
+        )
+        while not self.commander.terminal and self.physics.time_s < hard_cap:
+            self.step()
+        if not self.commander.terminal:
+            self.commander.outcome = MissionOutcome.TIMEOUT
+            self.commander.end_time_s = self.physics.time_s
+
+        takeoff = self.commander.takeoff_time_s or 0.0
+        end = self.commander.end_time_s or self.physics.time_s
+        counts = self.bubble_monitor.counts
+        return MissionResult(
+            mission_id=self.plan.mission_id,
+            outcome=self.commander.outcome,
+            flight_duration_s=end - takeoff,
+            distance_km=self.recorder.estimated_distance_m / 1000.0,
+            inner_violations=counts.inner,
+            outer_violations=counts.outer,
+            tracking_instances=counts.tracking_instances,
+            max_deviation_m=counts.max_deviation_m,
+            crash_time_s=(
+                self.crash_detector.report.time_s if self.crash_detector.report else None
+            ),
+            failsafe_time_s=self.failsafe.engaged_time_s,
+            fault_label=self.fault.label if self.fault else "Gold Run",
+        )

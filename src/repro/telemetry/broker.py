@@ -1,0 +1,91 @@
+"""In-process pub/sub brokers mirroring the paper's tracking network.
+
+The paper's environment deploys *edge brokers* near the vehicles that
+forward to a *core broker* where the tracker subscribes. The same
+topology is modelled here with synchronous in-process delivery:
+``publish`` walks the subscriber list, then forwards upstream. Topic
+matching supports a trailing ``*`` wildcard (``"track/*"``).
+
+A subscriber callback that raises does not break delivery to the other
+subscribers; the error is recorded on the broker for inspection, which
+keeps one misbehaving consumer from silently killing the campaign's
+telemetry (errors must never pass silently, but a fault-injection rig
+cannot let a logging consumer take down the run either).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Callable
+
+Subscriber = Callable[[str, Any], None]
+
+
+@dataclass
+class DeliveryError:
+    """A subscriber exception captured during publish."""
+
+    topic: str
+    subscriber: str
+    error: Exception
+
+
+class Broker:
+    """A single pub/sub node."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._subscribers: dict[str, list[Subscriber]] = defaultdict(list)
+        self._wildcard_subscribers: dict[str, list[Subscriber]] = defaultdict(list)
+        self.delivery_errors: list[DeliveryError] = []
+        self.published_count = 0
+
+    def subscribe(self, topic: str, callback: Subscriber) -> None:
+        """Register ``callback`` for ``topic`` (or ``prefix/*``)."""
+        if topic.endswith("/*"):
+            self._wildcard_subscribers[topic[:-2]].append(callback)
+        else:
+            self._subscribers[topic].append(callback)
+
+    def publish(self, topic: str, message: Any) -> int:
+        """Deliver ``message`` to all matching subscribers; return count."""
+        self.published_count += 1
+        delivered = 0
+        for callback in self._subscribers.get(topic, ()):
+            delivered += self._deliver(callback, topic, message)
+        for prefix, callbacks in self._wildcard_subscribers.items():
+            if topic.startswith(prefix + "/") or topic == prefix:
+                for callback in callbacks:
+                    delivered += self._deliver(callback, topic, message)
+        return delivered
+
+    def _deliver(self, callback: Subscriber, topic: str, message: Any) -> int:
+        try:
+            callback(topic, message)
+            return 1
+        except Exception as exc:  # noqa: BLE001 - isolated by design
+            self.delivery_errors.append(
+                DeliveryError(topic=topic, subscriber=repr(callback), error=exc)
+            )
+            return 0
+
+
+class CoreBroker(Broker):
+    """The root broker the tracker subscribes to."""
+
+    def __init__(self, name: str = "core"):
+        super().__init__(name)
+
+
+class EdgeBroker(Broker):
+    """A leaf broker that forwards everything upstream after local delivery."""
+
+    def __init__(self, name: str, upstream: Broker):
+        super().__init__(name)
+        self.upstream = upstream
+
+    def publish(self, topic: str, message: Any) -> int:
+        delivered = super().publish(topic, message)
+        delivered += self.upstream.publish(topic, message)
+        return delivered

@@ -1,0 +1,82 @@
+"""Flight-log persistence: the recorder's samples as JSON-lines.
+
+The paper's platform "records all flights, capturing data from both
+fault-injected and fault-free scenarios"; this module is the disk
+format. JSONL keeps logs appendable and streamable, one sample per
+line, with a header line carrying run metadata.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.telemetry.recorder import FlightRecorder, FlightSample
+
+_SCHEMA_VERSION = 1
+
+
+def save_flight_log(
+    recorder: FlightRecorder,
+    path: str | Path,
+    metadata: dict | None = None,
+) -> None:
+    """Write a recorder's samples (plus metadata) as JSONL."""
+    lines = [
+        json.dumps(
+            {
+                "schema_version": _SCHEMA_VERSION,
+                "type": "header",
+                "sample_count": len(recorder.samples),
+                "estimated_distance_m": recorder.estimated_distance_m,
+                "metadata": metadata or {},
+            }
+        )
+    ]
+    for s in recorder.samples:
+        lines.append(
+            json.dumps(
+                {
+                    "t": round(s.time_s, 4),
+                    "p_true": [round(float(x), 4) for x in s.position_true_ned],
+                    "p_est": [round(float(x), 4) for x in s.position_est_ned],
+                    "v_true": [round(float(x), 4) for x in s.velocity_true_ned],
+                    "v_est": [round(float(x), 4) for x in s.velocity_est_ned],
+                    "tilt": round(s.tilt_rad, 5),
+                    "phase": s.phase,
+                    "fault": s.fault_active,
+                }
+            )
+        )
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_flight_log(path: str | Path) -> tuple[list[FlightSample], dict]:
+    """Read a JSONL flight log; returns (samples, header metadata)."""
+    lines = Path(path).read_text().strip().split("\n")
+    header = json.loads(lines[0])
+    if header.get("schema_version") != _SCHEMA_VERSION or header.get("type") != "header":
+        raise ValueError(f"not a flight log (or unsupported version): {path}")
+    samples = []
+    for line in lines[1:]:
+        row = json.loads(line)
+        samples.append(
+            FlightSample(
+                time_s=row["t"],
+                position_true_ned=np.array(row["p_true"]),
+                position_est_ned=np.array(row["p_est"]),
+                velocity_true_ned=np.array(row["v_true"]),
+                velocity_est_ned=np.array(row["v_est"]),
+                tilt_rad=row["tilt"],
+                phase=row["phase"],
+                fault_active=row["fault"],
+            )
+        )
+    if len(samples) != header["sample_count"]:
+        raise ValueError(
+            f"truncated flight log: header says {header['sample_count']} samples, "
+            f"found {len(samples)}"
+        )
+    return samples, header.get("metadata", {})

@@ -1,0 +1,42 @@
+"""Telemetry message types exchanged over the broker tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TrackMessage:
+    """One surveillance track report (the U-space tracking instance).
+
+    Positions are the *reported* (EKF-estimated) values — U-space sees
+    what the drone believes, which is exactly why IMU faults corrupt the
+    picture surveillance has of the airspace.
+    """
+
+    drone_id: int
+    time_s: float
+    position_ned: tuple[float, float, float]
+    velocity_ned: tuple[float, float, float]
+    airspeed_m_s: float
+
+    @property
+    def position_array(self) -> np.ndarray:
+        return np.array(self.position_ned)
+
+    @property
+    def velocity_array(self) -> np.ndarray:
+        return np.array(self.velocity_ned)
+
+
+@dataclass(frozen=True)
+class FlightEvent:
+    """A notable flight-stack event (phase change, failsafe, crash)."""
+
+    drone_id: int
+    time_s: float
+    kind: str
+    detail: str = ""
+    data: dict = field(default_factory=dict)

@@ -1,0 +1,41 @@
+"""The tracker service: per-drone track histories from the broker tree."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.telemetry.broker import Broker
+from repro.telemetry.messages import FlightEvent, TrackMessage
+
+
+class Tracker:
+    """Subscribes to track and event topics and stores the history.
+
+    This is the surveillance picture U-space would hold: one track list
+    per drone (reported, i.e. EKF-estimated, states) plus flight events.
+    """
+
+    def __init__(self, broker: Broker):
+        self.tracks: dict[int, list[TrackMessage]] = defaultdict(list)
+        self.events: dict[int, list[FlightEvent]] = defaultdict(list)
+        broker.subscribe("track/*", self._on_track)
+        broker.subscribe("event/*", self._on_event)
+
+    def _on_track(self, topic: str, message: TrackMessage) -> None:
+        if not isinstance(message, TrackMessage):
+            raise TypeError(f"unexpected message on {topic}: {type(message)}")
+        self.tracks[message.drone_id].append(message)
+
+    def _on_event(self, topic: str, message: FlightEvent) -> None:
+        if not isinstance(message, FlightEvent):
+            raise TypeError(f"unexpected message on {topic}: {type(message)}")
+        self.events[message.drone_id].append(message)
+
+    def latest(self, drone_id: int) -> TrackMessage | None:
+        """Most recent track for ``drone_id`` (None if never seen)."""
+        tracks = self.tracks.get(drone_id)
+        return tracks[-1] if tracks else None
+
+    def track_count(self, drone_id: int) -> int:
+        """Number of tracking instances recorded for ``drone_id``."""
+        return len(self.tracks.get(drone_id, ()))

@@ -1,0 +1,26 @@
+"""U-space separation: the paper's two-layer bubble concept.
+
+The inner bubble (Eq. 1) is a static alert volume sized from the drone's
+dimensions and either the manufacturer safety distance or the maximum
+distance covered between tracking instances. The outer bubble (Eqs. 2-3)
+is a dynamic separation volume that grows with the anticipated distance
+the drone will cover, scaled by the airspace risk factor R.
+"""
+
+from repro.uspace.bubble import inner_bubble_radius, OuterBubble, BubblePair
+from repro.uspace.monitor import BubbleMonitor, ViolationCounts
+from repro.uspace.conflicts import ConflictDetector, Conflict
+from repro.uspace.airspace import OperatingArea, ContainmentMonitor, DEFAULT_CEILING_M
+
+__all__ = [
+    "inner_bubble_radius",
+    "OuterBubble",
+    "BubblePair",
+    "BubbleMonitor",
+    "ViolationCounts",
+    "ConflictDetector",
+    "Conflict",
+    "OperatingArea",
+    "ContainmentMonitor",
+    "DEFAULT_CEILING_M",
+]

@@ -1,0 +1,93 @@
+"""The operating area: the paper's 25 km^2 zone with a 60 ft ceiling.
+
+U-space assigns each operation a containment volume; leaving it is an
+airspace violation independent of the per-drone bubbles. This module
+models the rectangular VLL (very-low-level) zone the Valencia scenario
+uses and counts containment violations along a trajectory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+#: 60 feet in metres — the Valencia scenario's height restriction.
+DEFAULT_CEILING_M = 18.29
+
+
+@dataclass(frozen=True)
+class OperatingArea:
+    """An axis-aligned VLL operating zone in the local NED frame.
+
+    ``half_extent_m`` is half the side length: the paper's 25 km^2 zone
+    corresponds to a 5 km x 5 km square, i.e. ``half_extent_m = 2500``.
+    """
+
+    half_extent_m: float = 2500.0
+    ceiling_m: float = DEFAULT_CEILING_M
+    floor_m: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.half_extent_m <= 0.0:
+            raise ValueError("half_extent_m must be positive")
+        if self.ceiling_m <= self.floor_m:
+            raise ValueError("ceiling must be above floor")
+
+    @property
+    def area_km2(self) -> float:
+        """Zone footprint in square kilometres."""
+        side_km = 2.0 * self.half_extent_m / 1000.0
+        return side_km * side_km
+
+    def contains(self, position_ned: np.ndarray) -> bool:
+        """True when a NED position is inside the volume (inclusive)."""
+        north, east, down = position_ned
+        altitude = -down
+        return (
+            abs(north) <= self.half_extent_m
+            and abs(east) <= self.half_extent_m
+            and self.floor_m <= altitude <= self.ceiling_m
+        )
+
+    def violation_distance_m(self, position_ned: np.ndarray) -> float:
+        """How far outside the volume a position is (0 when inside)."""
+        north, east, down = position_ned
+        altitude = -down
+        d_north = max(0.0, abs(north) - self.half_extent_m)
+        d_east = max(0.0, abs(east) - self.half_extent_m)
+        d_alt = max(0.0, altitude - self.ceiling_m, self.floor_m - altitude)
+        # hypot instead of sqrt-of-squares: denormal excursions would
+        # underflow when squared and report 0 for a point that is outside.
+        return math.hypot(d_north, d_east, d_alt)
+
+
+class ContainmentMonitor:
+    """Counts containment-violation episodes along a reported track.
+
+    A violation *episode* starts when the reported position first leaves
+    the volume and ends when it re-enters; sustained excursions count
+    once, with the worst distance recorded — the event granularity a
+    U-space containment service would alert on.
+    """
+
+    def __init__(self, area: OperatingArea):
+        self.area = area
+        self.episodes = 0
+        self.instants_outside = 0
+        self.worst_excursion_m = 0.0
+        self._outside = False
+
+    def check(self, position_ned: np.ndarray) -> bool:
+        """Process one tracking instance; return True if outside."""
+        outside = not self.area.contains(position_ned)
+        if outside:
+            self.instants_outside += 1
+            self.worst_excursion_m = max(
+                self.worst_excursion_m, self.area.violation_distance_m(position_ned)
+            )
+            if not self._outside:
+                self.episodes += 1
+        self._outside = outside
+        return outside

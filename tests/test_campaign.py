@@ -1,0 +1,138 @@
+"""Integration tests for the campaign runner and figures."""
+
+import pytest
+
+from repro import CampaignConfig, run_campaign, run_experiment
+from repro.core.campaign import quick_config
+from repro.core.experiments import ExperimentSpec, build_experiment_matrix
+from repro.core.faults import FaultSpec, FaultTarget, FaultType
+from repro.core.figures import (
+    FIGURE_3,
+    FIGURE_4,
+    FIGURE_5,
+    render_ascii_trajectory,
+    run_figure_scenario,
+)
+from repro.flightstack.commander import MissionOutcome
+
+
+TINY = CampaignConfig(
+    scale=0.1,
+    mission_ids=(2,),
+    durations_s=(2.0,),
+    injection_time_s=15.0,
+)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CampaignConfig(scale=0.0)
+    with pytest.raises(ValueError):
+        CampaignConfig(workers=0)
+
+
+def test_effective_injection_time_scales():
+    assert CampaignConfig(scale=1.0).effective_injection_time_s == 90.0
+    assert CampaignConfig(scale=0.5).effective_injection_time_s == 45.0
+    # Floor keeps the injection after the takeoff transient.
+    assert CampaignConfig(scale=0.01).effective_injection_time_s == 20.0
+    assert CampaignConfig(injection_time_s=33.0).effective_injection_time_s == 33.0
+
+
+def test_quick_config_shape():
+    cfg = quick_config(workers=2, base_seed=7)
+    assert cfg.scale == 0.2
+    assert cfg.workers == 2
+    assert cfg.base_seed == 7
+
+
+def test_single_experiment_gold():
+    spec = ExperimentSpec(0, 2, None)
+    result = run_experiment(spec, TINY)
+    assert result.is_gold
+    assert result.completed
+    assert result.inner_violations == 0
+
+
+def test_single_experiment_faulty():
+    fault = FaultSpec(FaultType.MIN, FaultTarget.GYRO, 15.0, 2.0, seed=1)
+    spec = ExperimentSpec(1, 2, fault)
+    result = run_experiment(spec, TINY)
+    assert result.fault_label == "Gyro Min"
+    assert result.injection_duration_s == 2.0
+    assert result.outcome != MissionOutcome.COMPLETED
+
+
+def test_tiny_campaign_end_to_end():
+    campaign = run_campaign(TINY)
+    # 1 mission: 1 gold + 21 faults x 1 duration.
+    assert len(campaign.results) == 22
+    assert len(campaign.gold) == 1
+    assert len(campaign.faulty) == 21
+    assert campaign.gold[0].completed
+    labels = {r.fault_label for r in campaign.faulty}
+    assert len(labels) == 21
+
+
+def test_campaign_deterministic():
+    a = run_campaign(TINY)
+    b = run_campaign(TINY)
+    for x, y in zip(a.results, b.results):
+        assert x.outcome == y.outcome
+        assert x.inner_violations == y.inner_violations
+
+
+def test_explicit_specs_subset():
+    specs = build_experiment_matrix(
+        mission_ids=[2],
+        durations_s=(2.0,),
+        injection_time_s=15.0,
+        fault_types=(FaultType.ZEROS,),
+        targets=(FaultTarget.GYRO,),
+        include_gold=False,
+    )
+    campaign = run_campaign(TINY, specs=specs)
+    assert len(campaign.results) == 1
+    assert campaign.results[0].fault_label == "Gyro Zeros"
+
+
+@pytest.mark.parametrize("scenario", [FIGURE_3, FIGURE_4, FIGURE_5])
+def test_figure_scenarios_run(scenario):
+    result = run_figure_scenario(scenario, scale=0.1, injection_time_s=15.0)
+    assert result.flown_true_ned.shape[0] > 10
+    assert result.route_ned.shape[1] == 3
+    assert result.injection_end_s > result.injection_start_s
+    art = render_ascii_trajectory(result)
+    assert "outcome" in art
+    assert "#" in art or "*" in art
+
+
+def test_figure_mission_choices_match_paper():
+    # Fig. 3 uses the fastest drone (25 km/h -> mission 10).
+    assert FIGURE_3.mission_id == 10
+    assert FIGURE_3.target is FaultTarget.ACCEL
+    # Figs. 4 and 5 inject before waypoints on turning missions.
+    assert FIGURE_4.target is FaultTarget.GYRO
+    assert FIGURE_5.target is FaultTarget.IMU
+    assert all(s.duration_s == 30.0 for s in (FIGURE_3, FIGURE_4, FIGURE_5))
+
+
+def test_parallel_workers_match_serial():
+    """The process-pool path must produce identical results to serial."""
+    import dataclasses
+
+    cfg_serial = dataclasses.replace(TINY, workers=1)
+    cfg_parallel = dataclasses.replace(TINY, workers=2)
+    specs = build_experiment_matrix(
+        mission_ids=[2],
+        durations_s=(2.0,),
+        injection_time_s=15.0,
+        fault_types=(FaultType.ZEROS, FaultType.MIN),
+        targets=(FaultTarget.GYRO,),
+        include_gold=True,
+    )
+    serial = run_campaign(cfg_serial, specs=specs)
+    parallel = run_campaign(cfg_parallel, specs=specs)
+    assert len(serial.results) == len(parallel.results)
+    for a, b in zip(serial.results, parallel.results):
+        assert a == b

@@ -1,0 +1,166 @@
+"""Unit tests for analysis utilities, persistence, and paper reference data."""
+
+import pytest
+
+from repro.core.analysis import (
+    by_mission,
+    check_paper_shapes,
+    duration_fault_grid,
+    render_shape_checks,
+    severity_ranking,
+)
+from repro.core.io import export_csv, load_campaign, save_campaign
+from repro.core.paper_reference import (
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    paper_component_order,
+    paper_table3_row,
+)
+from repro.core.results import CampaignResult, ExperimentResult
+from repro.core.tables import _fault_label
+from repro.core.faults import FaultTarget, FaultType
+from repro.flightstack.commander import MissionOutcome
+
+
+def _label(target, fault):
+    return _fault_label(target, fault)
+
+
+def synthetic_campaign():
+    """A campaign whose shape mirrors the paper's qualitative findings."""
+    results = []
+    eid = 0
+    for mission in (1, 2):
+        results.append(
+            ExperimentResult(eid, mission, "Gold Run", None, None, None,
+                             MissionOutcome.COMPLETED, 400.0, 3.0, 0, 0, 0.5)
+        )
+        eid += 1
+    # Completion recipe per fault family.
+    complete_labels = {"Acc Zeros", "Acc Noise", "Gyro Zeros"}
+    for duration in (2.0, 30.0):
+        for target in FaultTarget:
+            for fault in FaultType:
+                label = _label(target, fault)
+                for mission in (1, 2):
+                    completes = label in complete_labels and duration == 2.0
+                    outcome = (
+                        MissionOutcome.COMPLETED if completes else (
+                            MissionOutcome.CRASHED if mission == 1 else MissionOutcome.FAILSAFE
+                        )
+                    )
+                    inner = 20 if target is FaultTarget.ACCEL else 10
+                    inner += 5 if duration == 30.0 else 0
+                    results.append(
+                        ExperimentResult(
+                            eid, mission, label, fault.value, target.value, duration,
+                            outcome, 150.0, 0.8, inner, inner // 2, 30.0,
+                        )
+                    )
+                    eid += 1
+    return CampaignResult(results=results, scale=0.2, injection_time_s=20.0)
+
+
+def test_by_mission_rows():
+    rows = by_mission(synthetic_campaign())
+    assert len(rows) == 2
+    assert rows[0].label == "mission 1"
+    assert rows[0].runs == 42  # 21 faults x 2 durations
+
+
+def test_duration_fault_grid_complete():
+    grid = duration_fault_grid(synthetic_campaign())
+    assert len(grid) == 42  # 21 labels x 2 durations
+    assert grid[("Acc Zeros", 2.0)] == 100.0
+    assert grid[("Acc Zeros", 30.0)] == 0.0
+
+
+def test_severity_ranking_sorted():
+    rows = severity_ranking(synthetic_campaign())
+    assert len(rows) == 21
+    pcts = [r.completed_pct for r in rows]
+    assert pcts == sorted(pcts)
+    assert rows[-1].label in ("Acc Zeros", "Acc Noise", "Gyro Zeros")
+
+
+def test_shape_checks_pass_on_paper_shaped_campaign():
+    checks = check_paper_shapes(synthetic_campaign())
+    names = {c.name for c in checks}
+    assert "gold-baseline" in names
+    assert "component-ordering" in names
+    by_name = {c.name: c for c in checks}
+    assert by_name["gold-baseline"].holds
+    assert by_name["duration-severity"].holds
+    assert by_name["acc-zeros-noise-survivable"].holds
+    assert by_name["gyro-zeros-vs-min"].holds
+    assert by_name["acc-heaviest-violations"].holds
+
+
+def test_render_shape_checks():
+    text = render_shape_checks(check_paper_shapes(synthetic_campaign()))
+    assert "qualitative findings reproduced" in text
+    assert "[PASS]" in text
+
+
+# ------------------------------------------------------------------ io
+
+
+def test_save_load_round_trip(tmp_path):
+    campaign = synthetic_campaign()
+    path = tmp_path / "campaign.json"
+    save_campaign(campaign, path)
+    loaded = load_campaign(path)
+    assert loaded.scale == campaign.scale
+    assert loaded.injection_time_s == campaign.injection_time_s
+    assert len(loaded.results) == len(campaign.results)
+    for a, b in zip(loaded.results, campaign.results):
+        assert a == b
+
+
+def test_load_rejects_unknown_schema(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"schema_version": 99, "results": []}')
+    with pytest.raises(ValueError):
+        load_campaign(path)
+
+
+def test_export_csv(tmp_path):
+    campaign = synthetic_campaign()
+    path = tmp_path / "campaign.csv"
+    export_csv(campaign, path)
+    lines = path.read_text().strip().split("\n")
+    assert len(lines) == len(campaign.results) + 1
+    assert lines[0].startswith("experiment_id,mission_id")
+    assert "Gold Run" in lines[1]
+
+
+# -------------------------------------------------------- paper reference
+
+
+def test_paper_tables_complete():
+    assert len(PAPER_TABLE2) == 5  # gold + 4 durations
+    assert len(PAPER_TABLE3) == 22  # gold + 21 faults
+    assert len(PAPER_TABLE4) == 8  # gold + 4 durations + 3 components
+
+
+def test_paper_table3_lookup():
+    row = paper_table3_row("Gyro Zeros")
+    assert row.completed_pct == 40.0
+    with pytest.raises(KeyError):
+        paper_table3_row("Nope")
+
+
+def test_paper_component_order():
+    assert paper_component_order() == ["Acc", "Gyro", "IMU"]
+
+
+def test_paper_table4_splits_sum_to_100():
+    for row in PAPER_TABLE4:
+        if row.failed_pct > 0:
+            assert row.crash_pct + row.failsafe_pct == pytest.approx(100.0)
+
+
+def test_paper_table3_zero_rows():
+    zero_rows = [r.label for r in PAPER_TABLE3 if r.completed_pct == 0.0]
+    assert set(zero_rows) == {"Gyro Min", "IMU Min", "IMU Freeze"}

@@ -1,0 +1,26 @@
+"""Unit tests for the detection-latency records and rendering."""
+
+from repro.core.detection import DetectionRecord, render_detection_report
+
+
+def test_record_detected_property():
+    hit = DetectionRecord("Gyro Min", "crashed", 0.6, None, 1.2)
+    miss = DetectionRecord("Acc Freeze", "completed", None, None, None)
+    assert hit.detected
+    assert not miss.detected
+
+
+def test_render_report_columns():
+    records = [
+        DetectionRecord("Gyro Min", "crashed", 0.61, None, 1.25),
+        DetectionRecord("Gyro Random", "failsafe", 0.55, 2.51, None),
+        DetectionRecord("Acc Freeze", "completed", None, None, None),
+    ]
+    text = render_detection_report(records, "timeline")
+    lines = text.split("\n")
+    assert lines[0] == "timeline"
+    assert "Gyro Min" in text and "Gyro Random" in text
+    assert "0.61" in text and "2.51" in text
+    # Missing events render as '-'.
+    freeze_line = next(l for l in lines if "Acc Freeze" in l)
+    assert freeze_line.count("-") >= 3

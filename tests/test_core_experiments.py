@@ -1,0 +1,104 @@
+"""Unit tests for the experiment matrix (paper Sec. III-B)."""
+
+import pytest
+
+from repro.core import build_experiment_matrix
+from repro.core.experiments import PAPER_DURATIONS_S, PAPER_INJECTION_TIME_S
+from repro.core.faults import FaultTarget, FaultType
+
+
+def test_full_matrix_is_850_cases():
+    specs = build_experiment_matrix()
+    assert len(specs) == 850
+
+
+def test_gold_runs_are_ten_and_first():
+    specs = build_experiment_matrix()
+    gold = [s for s in specs if s.is_gold]
+    assert len(gold) == 10
+    assert all(s.is_gold for s in specs[:10])
+
+
+def test_faulty_cases_count_840():
+    specs = build_experiment_matrix()
+    faulty = [s for s in specs if not s.is_gold]
+    # 7 fault types x 3 targets x 10 missions x 4 durations (paper: 840).
+    assert len(faulty) == 840
+
+
+def test_injection_time_default_is_paper_90s():
+    specs = build_experiment_matrix()
+    assert all(
+        s.fault.start_time_s == PAPER_INJECTION_TIME_S for s in specs if not s.is_gold
+    )
+
+
+def test_durations_cover_paper_sweep():
+    specs = build_experiment_matrix()
+    durations = {s.fault.duration_s for s in specs if not s.is_gold}
+    assert durations == set(PAPER_DURATIONS_S)
+
+
+def test_each_cell_unique():
+    specs = build_experiment_matrix()
+    cells = {
+        (s.mission_id, s.fault.fault_type, s.fault.target, s.fault.duration_s)
+        for s in specs
+        if not s.is_gold
+    }
+    assert len(cells) == 840
+
+
+def test_experiment_ids_unique_and_sequential():
+    specs = build_experiment_matrix()
+    ids = [s.experiment_id for s in specs]
+    assert ids == list(range(850))
+
+
+def test_seeds_deterministic_and_distinct_per_cell():
+    a = build_experiment_matrix()
+    b = build_experiment_matrix()
+    assert all(
+        x.fault.seed == y.fault.seed for x, y in zip(a, b) if not x.is_gold
+    )
+    seeds = [s.fault.seed for s in a if not s.is_gold]
+    assert len(set(seeds)) == len(seeds)
+
+
+def test_base_seed_changes_case_seeds():
+    a = build_experiment_matrix(base_seed=0)
+    b = build_experiment_matrix(base_seed=1)
+    pairs = [(x.fault.seed, y.fault.seed) for x, y in zip(a, b) if not x.is_gold]
+    assert all(x != y for x, y in pairs)
+
+
+def test_subset_missions():
+    specs = build_experiment_matrix(mission_ids=[1, 2])
+    assert len(specs) == 2 + 2 * 21 * 4
+
+
+def test_no_gold_option():
+    specs = build_experiment_matrix(include_gold=False)
+    assert len(specs) == 840
+    assert not any(s.is_gold for s in specs)
+
+
+def test_restricted_fault_types_and_targets():
+    specs = build_experiment_matrix(
+        fault_types=(FaultType.ZEROS,), targets=(FaultTarget.GYRO,), include_gold=False
+    )
+    assert len(specs) == 10 * 4
+    assert all(s.fault.fault_type == FaultType.ZEROS for s in specs)
+
+
+def test_labels():
+    specs = build_experiment_matrix()
+    assert specs[0].label == "Gold Run"
+    assert specs[0].duration_s is None
+    faulty = [s for s in specs if not s.is_gold][0]
+    assert faulty.label != "Gold Run"
+
+
+def test_negative_injection_time_rejected():
+    with pytest.raises(ValueError):
+        build_experiment_matrix(injection_time_s=-1.0)

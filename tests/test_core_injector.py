@@ -1,0 +1,106 @@
+"""Unit tests for the sensor fault injector."""
+
+import numpy as np
+import pytest
+
+from repro.core import FaultSpec, FaultTarget, FaultType, SensorFaultInjector
+from repro.sensors.imu import ImuSample
+
+ACCEL_RANGE = 150.0
+GYRO_RANGE = 35.0
+
+
+def make_injector(fault_type, target, start=10.0, duration=5.0, seed=0):
+    spec = FaultSpec(fault_type, target, start_time_s=start, duration_s=duration, seed=seed)
+    return SensorFaultInjector(spec, ACCEL_RANGE, GYRO_RANGE)
+
+
+def sample(t, accel=(0.0, 0.0, -9.8), gyro=(0.01, 0.02, 0.03)):
+    return ImuSample(t, np.array(accel), np.array(gyro))
+
+
+def test_no_fault_passthrough():
+    inj = SensorFaultInjector(None, ACCEL_RANGE, GYRO_RANGE)
+    s = sample(0.0)
+    assert inj.apply(s) is s
+    assert not inj.is_active(0.0)
+
+
+def test_clean_before_window():
+    inj = make_injector(FaultType.ZEROS, FaultTarget.IMU)
+    s = sample(5.0)
+    assert inj.apply(s) is s
+
+
+def test_clean_after_window():
+    inj = make_injector(FaultType.ZEROS, FaultTarget.IMU)
+    inj.apply(sample(12.0))  # inside
+    out = inj.apply(sample(16.0))  # after
+    assert np.allclose(out.gyro, [0.01, 0.02, 0.03])
+
+
+def test_accel_target_leaves_gyro_clean():
+    inj = make_injector(FaultType.ZEROS, FaultTarget.ACCEL)
+    out = inj.apply(sample(12.0))
+    assert np.allclose(out.accel, 0.0)
+    assert np.allclose(out.gyro, [0.01, 0.02, 0.03])
+
+
+def test_gyro_target_leaves_accel_clean():
+    inj = make_injector(FaultType.MAX, FaultTarget.GYRO)
+    out = inj.apply(sample(12.0))
+    assert np.allclose(out.gyro, GYRO_RANGE)
+    assert np.allclose(out.accel, [0.0, 0.0, -9.8])
+
+
+def test_imu_target_corrupts_both():
+    inj = make_injector(FaultType.MIN, FaultTarget.IMU)
+    out = inj.apply(sample(12.0))
+    assert np.allclose(out.accel, -ACCEL_RANGE)
+    assert np.allclose(out.gyro, -GYRO_RANGE)
+
+
+def test_freeze_latches_last_clean_sample():
+    inj = make_injector(FaultType.FREEZE, FaultTarget.IMU)
+    inj.apply(sample(9.99, accel=(1.0, 2.0, 3.0), gyro=(0.1, 0.2, 0.3)))
+    out = inj.apply(sample(10.0, accel=(9.0, 9.0, 9.0), gyro=(9.0, 9.0, 9.0)))
+    assert np.allclose(out.accel, [9.0, 9.0, 9.0]) or np.allclose(out.accel, [1.0, 2.0, 3.0])
+    # Freeze must latch the value from the activation edge and hold it.
+    later = inj.apply(sample(11.0, accel=(5.0, 5.0, 5.0), gyro=(5.0, 5.0, 5.0)))
+    assert np.allclose(later.accel, out.accel)
+    assert np.allclose(later.gyro, out.gyro)
+
+
+def test_input_sample_not_mutated():
+    inj = make_injector(FaultType.ZEROS, FaultTarget.IMU)
+    s = sample(12.0)
+    inj.apply(s)
+    assert np.allclose(s.accel, [0.0, 0.0, -9.8])
+
+
+def test_fixed_constant_for_whole_window():
+    inj = make_injector(FaultType.FIXED, FaultTarget.ACCEL)
+    a = inj.apply(sample(10.5)).accel
+    b = inj.apply(sample(14.9)).accel
+    assert np.allclose(a, b)
+
+
+def test_deterministic_for_seed():
+    a = make_injector(FaultType.RANDOM, FaultTarget.IMU, seed=7).apply(sample(12.0))
+    b = make_injector(FaultType.RANDOM, FaultTarget.IMU, seed=7).apply(sample(12.0))
+    assert np.allclose(a.accel, b.accel)
+    assert np.allclose(a.gyro, b.gyro)
+
+
+def test_accel_and_gyro_random_streams_differ():
+    inj = make_injector(FaultType.RANDOM, FaultTarget.IMU, seed=3)
+    out = inj.apply(sample(12.0))
+    assert not np.allclose(out.accel / ACCEL_RANGE, out.gyro / GYRO_RANGE)
+
+
+def test_is_active_tracks_window():
+    inj = make_injector(FaultType.ZEROS, FaultTarget.IMU, start=10.0, duration=5.0)
+    assert not inj.is_active(9.9)
+    assert inj.is_active(10.0)
+    assert inj.is_active(14.99)
+    assert not inj.is_active(15.0)

@@ -1,0 +1,177 @@
+"""Unit tests for metric aggregation and the table generators."""
+
+import pytest
+
+from repro.core.metrics import failure_analysis, summarize
+from repro.core.results import CampaignResult, ExperimentResult
+from repro.core.tables import (
+    render_table,
+    table2_by_duration,
+    table3_by_fault,
+    table4_failure_analysis,
+)
+from repro.flightstack.commander import MissionOutcome
+
+
+def result(
+    outcome=MissionOutcome.COMPLETED,
+    fault_type="zeros",
+    target="accel",
+    duration=2.0,
+    inner=5,
+    outer=3,
+    flight_duration=100.0,
+    distance=1.0,
+    mission_id=1,
+    experiment_id=0,
+):
+    target_names = {"accel": "Acc", "gyro": "Gyro", "imu": "IMU"}
+    fault_names = {"zeros": "Zeros", "random": "Random", "freeze": "Freeze"}
+    if fault_type is None:
+        label = "Gold Run"
+    else:
+        label = f"{target_names[target]} {fault_names[fault_type]}"
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        mission_id=mission_id,
+        fault_label=label,
+        fault_type=fault_type,
+        target=target if fault_type else None,
+        injection_duration_s=duration if fault_type else None,
+        outcome=outcome,
+        flight_duration_s=flight_duration,
+        distance_km=distance,
+        inner_violations=inner,
+        outer_violations=outer,
+        max_deviation_m=10.0,
+    )
+
+
+def gold(**kw):
+    kw.setdefault("fault_type", None)
+    kw.setdefault("target", None)
+    return result(**kw)
+
+
+def test_summarize_averages():
+    rows = [
+        result(outcome=MissionOutcome.COMPLETED, inner=10, outer=4, flight_duration=100, distance=2.0),
+        result(outcome=MissionOutcome.CRASHED, inner=20, outer=8, flight_duration=50, distance=1.0),
+    ]
+    row = summarize("test", rows)
+    assert row.runs == 2
+    assert row.inner_violations_avg == 15.0
+    assert row.outer_violations_avg == 6.0
+    assert row.completed_pct == 50.0
+    assert row.duration_avg_s == 75.0
+    assert row.distance_avg_km == 1.5
+
+
+def test_summarize_empty_raises():
+    with pytest.raises(ValueError):
+        summarize("empty", [])
+
+
+def test_failure_analysis_split_sums_to_100():
+    rows = [
+        result(outcome=MissionOutcome.CRASHED),
+        result(outcome=MissionOutcome.FAILSAFE),
+        result(outcome=MissionOutcome.TIMEOUT),
+        result(outcome=MissionOutcome.COMPLETED),
+    ]
+    row = failure_analysis("test", rows)
+    assert row.failed_pct == 75.0
+    assert row.crash_pct_of_failed + row.failsafe_pct_of_failed == pytest.approx(100.0)
+    # Timeouts count with failsafe activations.
+    assert row.failsafe_pct_of_failed == pytest.approx(200.0 / 3.0)
+
+
+def test_failure_analysis_all_completed():
+    row = failure_analysis("ok", [result(outcome=MissionOutcome.COMPLETED)])
+    assert row.failed_pct == 0.0
+    assert row.crash_pct_of_failed == 0.0
+    assert row.failsafe_pct_of_failed == 0.0
+
+
+def make_campaign():
+    results = [gold(mission_id=m, outcome=MissionOutcome.COMPLETED, inner=0, outer=0) for m in (1, 2)]
+    eid = 2
+    for duration in (2.0, 30.0):
+        for target in ("accel", "gyro", "imu"):
+            for fault in ("zeros", "random"):
+                for mission in (1, 2):
+                    outcome = (
+                        MissionOutcome.COMPLETED
+                        if fault == "zeros" and duration == 2.0
+                        else MissionOutcome.CRASHED
+                    )
+                    results.append(
+                        result(
+                            outcome=outcome,
+                            fault_type=fault,
+                            target=target,
+                            duration=duration,
+                            mission_id=mission,
+                            experiment_id=eid,
+                        )
+                    )
+                    eid += 1
+    return CampaignResult(results=results)
+
+
+def test_campaign_result_slicing():
+    camp = make_campaign()
+    assert len(camp.gold) == 2
+    assert len(camp.faulty) == 24
+    assert len(camp.by_duration(2.0)) == 12
+    assert len(camp.by_target("gyro")) == 8
+    assert len(camp.by_fault_label("Acc Zeros")) == 4
+
+
+def test_table2_gold_first_and_sorted():
+    rows = table2_by_duration(make_campaign())
+    assert rows[0].label == "Gold Run"
+    completions = [r.completed_pct for r in rows[1:]]
+    assert completions == sorted(completions, reverse=True)
+    assert {r.label for r in rows[1:]} == {"2 seconds", "30 seconds"}
+
+
+def test_table3_groups_by_component_then_completion():
+    camp = make_campaign()
+    rows = table3_by_fault(camp)
+    labels = [r.label for r in rows]
+    assert labels[0] == "Gold Run"
+    assert "Acc Zeros" in labels and "IMU Random" in labels
+    # Components appear grouped: all Acc rows before all Gyro rows.
+    acc_last = max(i for i, l in enumerate(labels) if l.startswith("Acc"))
+    gyro_first = min(i for i, l in enumerate(labels) if l.startswith("Gyro"))
+    assert acc_last < gyro_first
+    # Within a component, sorted by completion desc.
+    acc_rows = [r for r in rows if r.label.startswith("Acc")]
+    pcts = [r.completed_pct for r in acc_rows]
+    assert pcts == sorted(pcts, reverse=True)
+
+
+def test_table4_rows_cover_durations_and_targets():
+    rows = table4_failure_analysis(make_campaign())
+    labels = [r.label for r in rows]
+    assert "Gold Run" in labels
+    assert "2 seconds" in labels and "30 seconds" in labels
+    assert "Acc" in labels and "Gyro" in labels and "IMU" in labels
+
+
+def test_render_table_summary_format():
+    text = render_table(table2_by_duration(make_campaign()), "TABLE II")
+    assert "TABLE II" in text
+    assert "Gold Run" in text
+    assert "Completed" in text
+
+
+def test_render_table_failure_format():
+    text = render_table(table4_failure_analysis(make_campaign()))
+    assert "Failsafe" in text
+    assert "%" in text
+
+
+def test_render_empty():
+    assert "(empty)" in render_table([], "nothing")

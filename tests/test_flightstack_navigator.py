@@ -1,0 +1,100 @@
+"""Unit tests for the waypoint navigator."""
+
+import math
+
+import numpy as np
+
+from repro.flightstack import Navigator
+from repro.missions import MissionPlan, Waypoint
+from repro.missions.spec import DroneSpec
+
+
+def simple_plan(waypoints=None, speed=4.0):
+    drone = DroneSpec(1, "UAV-01", cruise_speed_m_s=speed, top_speed_m_s=speed * 1.4, mass_kg=1.5)
+    wps = waypoints or [
+        Waypoint((0.0, 0.0, -15.0)),
+        Waypoint((100.0, 0.0, -15.0)),
+        Waypoint((100.0, 100.0, -15.0)),
+    ]
+    return MissionPlan(mission_id=1, drone=drone, waypoints=wps)
+
+
+def test_initial_yaw_faces_first_leg():
+    nav = Navigator(simple_plan())
+    out = nav.update(np.array([0.0, 0.0, -15.0]))
+    assert abs(out.yaw_sp_rad) < 1e-6  # first leg is due north
+
+
+def test_carrot_ahead_of_vehicle():
+    nav = Navigator(simple_plan())
+    nav.update(np.array([0.0, 0.0, -15.0]))  # sequence onto the first leg
+    pos = np.array([10.0, 0.0, -15.0])
+    out = nav.update(pos)
+    assert out.position_sp_ned[0] > pos[0]
+
+
+def test_velocity_feedforward_along_track():
+    nav = Navigator(simple_plan())
+    nav.update(np.array([0.0, 0.0, -15.0]))
+    out = nav.update(np.array([20.0, 0.0, -15.0]))
+    assert out.velocity_ff_ned[0] > 0.0
+    assert abs(out.velocity_ff_ned[1]) < 1e-9
+
+
+def test_waypoint_sequencing_on_acceptance():
+    nav = Navigator(simple_plan())
+    nav.update(np.array([0.0, 0.0, -15.0]))
+    assert nav.active_index >= 1
+    nav.update(np.array([99.0, 0.0, -15.0]))  # inside wp1 acceptance radius
+    assert nav.active_index == 2
+
+
+def test_overshoot_also_sequences():
+    nav = Navigator(simple_plan())
+    nav.update(np.array([0.0, 0.0, -15.0]))
+    nav.update(np.array([110.0, 0.0, -15.0]))  # flew past wp1
+    assert nav.active_index == 2
+
+
+def test_mission_done_at_last_waypoint():
+    nav = Navigator(simple_plan())
+    nav.update(np.array([0.0, 0.0, -15.0]))
+    nav.update(np.array([100.0, 0.0, -15.0]))
+    nav.update(np.array([100.0, 99.5, -15.0]))
+    assert nav.mission_done
+
+
+def test_yaw_follows_turn():
+    nav = Navigator(simple_plan())
+    nav.update(np.array([0.0, 0.0, -15.0]))
+    out = nav.update(np.array([101.0, 10.0, -15.0]))  # past wp1, turning east
+    assert math.isclose(out.yaw_sp_rad, math.pi / 2, abs_tol=0.05)
+
+
+def test_final_approach_slows_down():
+    nav = Navigator(simple_plan(speed=10.0))
+    nav.update(np.array([0.0, 0.0, -15.0]))
+    nav.update(np.array([100.0, 0.0, -15.0]))
+    out = nav.update(np.array([100.0, 95.0, -15.0]))  # 5 m from the end
+    assert out.cruise_speed_m_s < 10.0
+
+
+def test_reset_restarts_mission():
+    nav = Navigator(simple_plan())
+    nav.update(np.array([100.0, 99.5, -15.0]))
+    nav.update(np.array([100.0, 99.5, -15.0]))
+    nav.reset()
+    assert nav.active_index == 0
+    assert not nav.mission_done
+
+
+def test_done_navigator_holds_last_waypoint():
+    nav = Navigator(simple_plan())
+    nav.update(np.array([0.0, 0.0, -15.0]))
+    nav.update(np.array([100.0, 0.0, -15.0]))
+    nav.update(np.array([100.0, 99.5, -15.0]))
+    assert nav.mission_done
+    for _ in range(3):
+        out = nav.update(np.array([100.0, 99.5, -15.0]))
+    assert np.allclose(out.position_sp_ned, [100.0, 100.0, -15.0])
+    assert np.allclose(out.velocity_ff_ned, 0.0)

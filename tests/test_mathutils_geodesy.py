@@ -1,0 +1,77 @@
+"""Unit tests for WGS-84 geodesy and the local NED projection."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mathutils import GeoPoint, GeodeticReference
+
+
+@pytest.fixture
+def valencia_ref():
+    return GeodeticReference(GeoPoint(39.4699, -0.3763, 0.0))
+
+
+def test_origin_maps_to_zero(valencia_ref):
+    ned = valencia_ref.to_local(valencia_ref.origin)
+    assert np.allclose(ned, np.zeros(3), atol=1e-9)
+
+
+def test_altitude_maps_to_negative_down(valencia_ref):
+    point = GeoPoint(39.4699, -0.3763, 15.0)
+    ned = valencia_ref.to_local(point)
+    assert math.isclose(ned[2], -15.0, abs_tol=1e-9)
+
+
+def test_north_displacement_positive(valencia_ref):
+    point = GeoPoint(39.4799, -0.3763, 0.0)  # ~1.1 km north
+    ned = valencia_ref.to_local(point)
+    assert ned[0] > 1000.0
+    assert abs(ned[1]) < 1e-6
+
+
+def test_east_displacement_positive(valencia_ref):
+    point = GeoPoint(39.4699, -0.3663, 0.0)
+    ned = valencia_ref.to_local(point)
+    assert ned[1] > 800.0  # shrunk by cos(latitude)
+    assert abs(ned[0]) < 1e-6
+
+
+def test_round_trip(valencia_ref):
+    ned = np.array([1234.5, -678.9, -42.0])
+    point = valencia_ref.to_geodetic(ned)
+    back = valencia_ref.to_local(point)
+    assert np.allclose(back, ned, atol=1e-6)
+
+
+def test_distance_symmetric(valencia_ref):
+    a = GeoPoint(39.47, -0.37, 10.0)
+    b = GeoPoint(39.48, -0.38, 20.0)
+    assert math.isclose(
+        valencia_ref.distance_m(a, b), valencia_ref.distance_m(b, a), rel_tol=1e-12
+    )
+
+
+def test_distance_zero_to_self(valencia_ref):
+    a = GeoPoint(39.47, -0.37, 10.0)
+    assert valencia_ref.distance_m(a, a) == 0.0
+
+
+def test_one_degree_latitude_is_about_111km(valencia_ref):
+    a = GeoPoint(39.0, -0.3763)
+    b = GeoPoint(40.0, -0.3763)
+    distance = valencia_ref.distance_m(a, b)
+    assert 110_000 < distance < 112_500
+
+
+@pytest.mark.parametrize("lat,lon", [(91.0, 0.0), (-91.0, 0.0), (0.0, 181.0), (0.0, -181.0)])
+def test_invalid_coordinates_rejected(lat, lon):
+    with pytest.raises(ValueError):
+        GeoPoint(lat, lon)
+
+
+def test_geopoint_is_frozen():
+    point = GeoPoint(10.0, 20.0, 5.0)
+    with pytest.raises(AttributeError):
+        point.latitude_deg = 11.0

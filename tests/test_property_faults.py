@@ -1,0 +1,112 @@
+"""Property-based tests for fault behaviours and the injector."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.faults import FaultBehavior, FaultSpec, FaultTarget, FaultType
+from repro.core.injector import SensorFaultInjector
+from repro.sensors.imu import ImuSample
+
+finite = st.floats(-100.0, 100.0, allow_nan=False)
+triads = st.builds(lambda x, y, z: np.array([x, y, z]), finite, finite, finite)
+ranges = st.floats(1.0, 1000.0, allow_nan=False)
+seeds = st.integers(0, 2**31 - 1)
+fault_types = st.sampled_from(list(FaultType))
+
+
+@given(fault_types, ranges, seeds, triads, triads)
+@settings(max_examples=200)
+def test_output_always_within_sensor_range(fault_type, rng, seed, latch, value):
+    """Every behaviour respects the physical saturation limits."""
+    b = FaultBehavior(fault_type, rng, seed, noise_fraction=0.05)
+    b.on_activation(np.clip(latch, -rng, rng))
+    out = b.apply(np.clip(value, -rng, rng))
+    assert np.all(np.abs(out) <= rng + 1e-9)
+
+
+@given(ranges, seeds, triads)
+def test_freeze_is_idempotent(rng, seed, latch):
+    """FREEZE returns the latched value regardless of later inputs."""
+    b = FaultBehavior(FaultType.FREEZE, rng, seed, noise_fraction=0.05)
+    latched = np.clip(latch, -rng, rng)
+    b.on_activation(latched)
+    outs = [b.apply(np.random.default_rng(i).normal(size=3)) for i in range(5)]
+    for out in outs:
+        assert np.allclose(out, latched)
+
+
+@given(ranges, seeds, triads)
+def test_zeros_annihilates_everything(rng, seed, value):
+    b = FaultBehavior(FaultType.ZEROS, rng, seed, noise_fraction=0.05)
+    b.on_activation(value)
+    assert np.allclose(b.apply(value), 0.0)
+
+
+@given(ranges, seeds)
+def test_min_max_exactly_at_saturation(rng, seed):
+    lo = FaultBehavior(FaultType.MIN, rng, seed, noise_fraction=0.05)
+    hi = FaultBehavior(FaultType.MAX, rng, seed, noise_fraction=0.05)
+    lo.on_activation(np.zeros(3))
+    hi.on_activation(np.zeros(3))
+    assert np.allclose(lo.apply(np.zeros(3)), -rng)
+    assert np.allclose(hi.apply(np.zeros(3)), rng)
+
+
+@given(ranges, seeds, triads, triads)
+def test_fixed_constant_across_samples(rng, seed, a, b_val):
+    b = FaultBehavior(FaultType.FIXED, rng, seed, noise_fraction=0.05)
+    b.on_activation(np.zeros(3))
+    assert np.allclose(b.apply(a), b.apply(b_val))
+
+
+@given(
+    st.sampled_from(list(FaultType)),
+    st.sampled_from(list(FaultTarget)),
+    st.floats(0.0, 100.0),
+    st.floats(0.1, 60.0),
+    seeds,
+)
+@settings(max_examples=100)
+def test_injector_window_exactness(fault_type, target, start, duration, seed):
+    """Corruption happens exactly inside [start, start+duration)."""
+    spec = FaultSpec(fault_type, target, start, duration, seed=seed)
+    injector = SensorFaultInjector(spec, 150.0, 35.0)
+    before = ImuSample(start - 0.01, np.array([1.0, 2.0, 3.0]), np.array([0.1, 0.2, 0.3]))
+    assert injector.apply(before) is before
+    after = ImuSample(
+        start + duration + 0.01, np.array([1.0, 2.0, 3.0]), np.array([0.1, 0.2, 0.3])
+    )
+    injector.apply(ImuSample(start + duration / 2, np.zeros(3), np.zeros(3)))
+    out_after = injector.apply(after)
+    assert np.allclose(out_after.accel, after.accel)
+    assert np.allclose(out_after.gyro, after.gyro)
+
+
+@given(st.sampled_from(list(FaultTarget)), seeds)
+def test_injector_respects_target(target, seed):
+    spec = FaultSpec(FaultType.MAX, target, 0.0, 10.0, seed=seed)
+    injector = SensorFaultInjector(spec, 150.0, 35.0)
+    clean = ImuSample(5.0, np.array([1.0, 1.0, 1.0]), np.array([0.1, 0.1, 0.1]))
+    out = injector.apply(clean)
+    accel_changed = not np.allclose(out.accel, clean.accel)
+    gyro_changed = not np.allclose(out.gyro, clean.gyro)
+    assert accel_changed == target.affects_accel
+    assert gyro_changed == target.affects_gyro
+
+
+@given(seeds, st.floats(0.001, 0.5), st.floats(0.0, 0.5))
+def test_noise_parameters_accepted_range(seed, noise_frac, bias_frac):
+    spec = FaultSpec(
+        FaultType.NOISE,
+        FaultTarget.IMU,
+        0.0,
+        1.0,
+        seed=seed,
+        noise_fraction=noise_frac,
+        noise_bias_fraction=bias_frac,
+    )
+    injector = SensorFaultInjector(spec, 150.0, 35.0)
+    out = injector.apply(ImuSample(0.5, np.zeros(3), np.zeros(3)))
+    assert np.all(np.abs(out.accel) <= 150.0)
+    assert np.all(np.abs(out.gyro) <= 35.0)

@@ -1,0 +1,91 @@
+"""Property-based tests for quaternion algebra invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mathutils import (
+    quat_angle_between,
+    quat_from_euler,
+    quat_integrate,
+    quat_inverse,
+    quat_multiply,
+    quat_normalize,
+    quat_rotate,
+    quat_rotate_inverse,
+    quat_to_rotation_matrix,
+)
+
+angles = st.floats(-math.pi, math.pi, allow_nan=False)
+small = st.floats(-100.0, 100.0, allow_nan=False)
+rates = st.floats(-30.0, 30.0, allow_nan=False)
+
+
+def quats():
+    return st.builds(quat_from_euler, angles, angles, angles)
+
+
+def vectors():
+    return st.builds(lambda x, y, z: np.array([x, y, z]), small, small, small)
+
+
+@given(quats())
+def test_from_euler_always_unit(q):
+    assert math.isclose(float(q @ q), 1.0, rel_tol=1e-9)
+
+
+@given(quats(), quats())
+def test_product_preserves_norm(q1, q2):
+    prod = quat_multiply(q1, q2)
+    assert math.isclose(float(prod @ prod), 1.0, rel_tol=1e-9)
+
+
+@given(quats(), vectors())
+def test_rotation_preserves_length(q, v):
+    out = quat_rotate(q, v)
+    assert math.isclose(float(out @ out), float(v @ v), rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(quats(), vectors())
+def test_rotate_round_trip(q, v):
+    back = quat_rotate_inverse(q, quat_rotate(q, v))
+    assert np.allclose(back, v, atol=1e-8)
+
+
+@given(quats())
+def test_inverse_composes_to_identity(q):
+    prod = quat_multiply(q, quat_inverse(q))
+    assert quat_angle_between(prod, np.array([1.0, 0.0, 0.0, 0.0])) < 1e-6
+
+
+@given(quats())
+def test_rotation_matrix_orthonormal(q):
+    rot = quat_to_rotation_matrix(q)
+    assert np.allclose(rot @ rot.T, np.eye(3), atol=1e-9)
+    assert math.isclose(float(np.linalg.det(rot)), 1.0, rel_tol=1e-9)
+
+
+@given(quats(), st.builds(lambda x, y, z: np.array([x, y, z]), rates, rates, rates))
+@settings(max_examples=50)
+def test_integration_preserves_norm(q, omega):
+    out = q
+    for _ in range(10):
+        out = quat_integrate(out, omega, 0.01)
+    assert math.isclose(float(out @ out), 1.0, rel_tol=1e-9)
+
+
+@given(quats(), quats())
+def test_angle_between_symmetric_and_bounded(q1, q2):
+    a = quat_angle_between(q1, q2)
+    b = quat_angle_between(q2, q1)
+    assert math.isclose(a, b, abs_tol=1e-9)
+    assert 0.0 <= a <= math.pi + 1e-9
+
+
+@given(quats())
+def test_normalize_idempotent(q):
+    once = quat_normalize(q)
+    twice = quat_normalize(once)
+    assert np.allclose(once, twice, atol=1e-12)

@@ -1,0 +1,136 @@
+"""Unit tests for the sensor models (IMU, GPS, baro, mag)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mathutils import quat_from_euler
+from repro.sensors import (
+    Barometer,
+    GpsModel,
+    GpsParams,
+    Imu,
+    ImuParams,
+    Magnetometer,
+    TriadSensorParams,
+)
+
+
+# ---------------------------------------------------------------------- IMU
+
+
+def test_imu_sample_close_to_truth():
+    imu = Imu(seed=1)
+    truth_f = np.array([0.1, -0.2, -9.8])
+    truth_w = np.array([0.01, 0.02, -0.01])
+    sample = imu.sample(0.0, truth_f, truth_w, dt=0.01)
+    assert np.allclose(sample.accel, truth_f, atol=0.5)
+    assert np.allclose(sample.gyro, truth_w, atol=0.05)
+    assert sample.time_s == 0.0
+
+
+def test_imu_saturates_at_range():
+    imu = Imu(seed=1)
+    huge = np.full(3, 1e6)
+    sample = imu.sample(0.0, huge, huge, dt=0.01)
+    assert np.all(sample.accel <= imu.accel_range)
+    assert np.all(sample.gyro <= imu.gyro_range)
+
+
+def test_imu_ranges_match_datasheet_defaults():
+    imu = Imu()
+    assert math.isclose(imu.accel_range, 16.0 * 9.80665, rel_tol=1e-9)
+    assert math.isclose(imu.gyro_range, math.radians(2000.0), rel_tol=1e-9)
+
+
+def test_imu_noise_statistics():
+    imu = Imu(seed=5)
+    truth = np.zeros(3)
+    samples = np.array(
+        [imu.sample(i * 0.01, truth, truth, dt=0.01).gyro for i in range(5000)]
+    )
+    # Std close to configured noise density (bias adds a small offset).
+    assert abs(samples.std() - imu.params.gyro.noise_density) < 0.002
+
+
+def test_imu_deterministic_per_seed():
+    a = Imu(seed=9).sample(0.0, np.zeros(3), np.zeros(3), dt=0.01)
+    b = Imu(seed=9).sample(0.0, np.zeros(3), np.zeros(3), dt=0.01)
+    assert np.allclose(a.accel, b.accel)
+    assert np.allclose(a.gyro, b.gyro)
+
+
+def test_imu_sample_copy_independent():
+    imu = Imu(seed=1)
+    s = imu.sample(0.0, np.zeros(3), np.zeros(3), dt=0.01)
+    c = s.copy()
+    c.accel[0] = 99.0
+    assert s.accel[0] != 99.0
+
+
+def test_triad_params_validation():
+    with pytest.raises(ValueError):
+        TriadSensorParams(measurement_range=0.0, noise_density=0.1, bias_sigma=0.1)
+    with pytest.raises(ValueError):
+        TriadSensorParams(measurement_range=1.0, noise_density=-0.1, bias_sigma=0.1)
+
+
+# ---------------------------------------------------------------------- GPS
+
+
+def test_gps_rate_limiting():
+    gps = GpsModel(GpsParams(rate_hz=5.0), seed=2)
+    fixes = 0
+    for i in range(1000):  # 10 s at 100 Hz
+        if gps.maybe_sample(i * 0.01, np.zeros(3), np.zeros(3)) is not None:
+            fixes += 1
+    assert 48 <= fixes <= 52
+
+
+def test_gps_noise_close_to_spec():
+    gps = GpsModel(GpsParams(rate_hz=100.0, horizontal_noise_m=0.4), seed=3)
+    errors = []
+    for i in range(2000):
+        fix = gps.maybe_sample(i * 0.01, np.zeros(3), np.zeros(3))
+        if fix is not None:
+            errors.append(fix.position_ned[0])
+    std = np.std(errors)
+    assert 0.3 < std < 0.5
+
+
+def test_gps_params_validation():
+    with pytest.raises(ValueError):
+        GpsParams(rate_hz=0.0)
+
+
+# ---------------------------------------------------------------------- Baro
+
+
+def test_baro_rate_and_noise():
+    baro = Barometer(seed=4)
+    readings = []
+    for i in range(2000):
+        alt = baro.maybe_sample(i * 0.01, 15.0)
+        if alt is not None:
+            readings.append(alt)
+    assert len(readings) == pytest.approx(400, abs=5)
+    assert abs(np.mean(readings) - 15.0) < 0.5
+
+
+# ---------------------------------------------------------------------- Mag
+
+
+def test_mag_measures_yaw():
+    mag = Magnetometer(seed=5)
+    q = quat_from_euler(0.0, 0.0, 1.2)
+    yaw = mag.maybe_sample(0.0, q)
+    assert yaw is not None
+    assert abs(yaw - 1.2) < 0.1
+
+
+def test_mag_output_wrapped():
+    mag = Magnetometer(seed=6)
+    q = quat_from_euler(0.0, 0.0, math.pi - 0.001)
+    yaw = mag.maybe_sample(0.0, q)
+    assert -math.pi < yaw <= math.pi

@@ -1,0 +1,163 @@
+"""Unit tests for brokers, tracker, and the flight recorder."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    Broker,
+    CoreBroker,
+    EdgeBroker,
+    FlightRecorder,
+    TrackMessage,
+    Tracker,
+)
+from repro.telemetry.messages import FlightEvent
+
+
+def track(drone_id=1, t=0.0):
+    return TrackMessage(
+        drone_id=drone_id,
+        time_s=t,
+        position_ned=(1.0, 2.0, -15.0),
+        velocity_ned=(3.0, 0.0, 0.0),
+        airspeed_m_s=3.0,
+    )
+
+
+# ------------------------------------------------------------------ Broker
+
+
+def test_exact_topic_delivery():
+    broker = Broker("test")
+    got = []
+    broker.subscribe("track/1", lambda topic, msg: got.append((topic, msg)))
+    delivered = broker.publish("track/1", "hello")
+    assert delivered == 1
+    assert got == [("track/1", "hello")]
+
+
+def test_wildcard_subscription():
+    broker = Broker("test")
+    got = []
+    broker.subscribe("track/*", lambda topic, msg: got.append(topic))
+    broker.publish("track/1", "a")
+    broker.publish("track/2", "b")
+    broker.publish("event/1", "c")
+    assert got == ["track/1", "track/2"]
+
+
+def test_no_subscribers_is_fine():
+    broker = Broker("test")
+    assert broker.publish("nobody/listens", "x") == 0
+
+
+def test_subscriber_error_isolated():
+    broker = Broker("test")
+    got = []
+
+    def bad(topic, msg):
+        raise RuntimeError("boom")
+
+    broker.subscribe("t", bad)
+    broker.subscribe("t", lambda topic, msg: got.append(msg))
+    delivered = broker.publish("t", 42)
+    assert delivered == 1  # the healthy subscriber still got it
+    assert got == [42]
+    assert len(broker.delivery_errors) == 1
+    assert isinstance(broker.delivery_errors[0].error, RuntimeError)
+
+
+def test_edge_broker_forwards_upstream():
+    core = CoreBroker()
+    edge = EdgeBroker("edge-1", upstream=core)
+    got_core, got_edge = [], []
+    core.subscribe("track/1", lambda t, m: got_core.append(m))
+    edge.subscribe("track/1", lambda t, m: got_edge.append(m))
+    edge.publish("track/1", "msg")
+    assert got_core == ["msg"]
+    assert got_edge == ["msg"]
+
+
+def test_broker_tree_two_edges():
+    core = CoreBroker()
+    tracker = Tracker(core)
+    edge_a = EdgeBroker("edge-a", upstream=core)
+    edge_b = EdgeBroker("edge-b", upstream=core)
+    edge_a.publish("track/1", track(1, 0.0))
+    edge_b.publish("track/2", track(2, 0.0))
+    assert tracker.track_count(1) == 1
+    assert tracker.track_count(2) == 1
+
+
+# ----------------------------------------------------------------- Tracker
+
+
+def test_tracker_stores_history_in_order():
+    core = CoreBroker()
+    tracker = Tracker(core)
+    core.publish("track/1", track(1, 0.0))
+    core.publish("track/1", track(1, 1.0))
+    assert tracker.track_count(1) == 2
+    assert tracker.latest(1).time_s == 1.0
+
+
+def test_tracker_events():
+    core = CoreBroker()
+    tracker = Tracker(core)
+    core.publish("event/1", FlightEvent(1, 5.0, "failsafe", "gyro_rate"))
+    assert tracker.events[1][0].kind == "failsafe"
+
+
+def test_tracker_latest_unknown_drone():
+    tracker = Tracker(CoreBroker())
+    assert tracker.latest(99) is None
+    assert tracker.track_count(99) == 0
+
+
+def test_tracker_rejects_wrong_message_type():
+    core = CoreBroker()
+    tracker = Tracker(core)
+    core.publish("track/1", "not a track")
+    # The type error is captured as a delivery error, not raised.
+    assert len(core.delivery_errors) == 1
+
+
+def test_track_message_arrays():
+    msg = track()
+    assert np.allclose(msg.position_array, [1.0, 2.0, -15.0])
+    assert np.allclose(msg.velocity_array, [3.0, 0.0, 0.0])
+
+
+# ---------------------------------------------------------------- Recorder
+
+
+def test_recorder_decimates():
+    rec = FlightRecorder(rate_hz=5.0)
+    for i in range(100):  # 1 s at 100 Hz
+        rec.maybe_record(
+            i * 0.01, np.zeros(3), np.zeros(3), np.zeros(3), np.zeros(3), 0.0, "mission", False
+        )
+    assert len(rec.samples) == 5
+
+
+def test_recorder_estimated_distance():
+    rec = FlightRecorder(rate_hz=1.0)
+    for i in range(5):
+        pos = np.array([float(i), 0.0, 0.0])
+        rec.maybe_record(float(i), pos, pos, np.zeros(3), np.zeros(3), 0.0, "mission", False)
+    assert rec.estimated_distance_m == pytest.approx(4.0)
+
+
+def test_recorder_arrays_shape():
+    rec = FlightRecorder(rate_hz=1.0)
+    assert rec.positions_true().shape == (0, 3)
+    rec.maybe_record(0.0, np.ones(3), 2 * np.ones(3), np.zeros(3), np.zeros(3), 0.1, "x", True)
+    assert rec.positions_true().shape == (1, 3)
+    assert rec.positions_estimated()[0, 0] == 2.0
+    assert rec.times().shape == (1,)
+    assert rec.samples[0].fault_active
+
+
+def test_recorder_validation():
+    with pytest.raises(ValueError):
+        FlightRecorder(rate_hz=0.0)
