@@ -7,17 +7,29 @@ setup with ~491 s gold runs and injection at 90 s — expect hours of
 wall-clock. The default reduced scale keeps the same matrix shape in
 tens of minutes on one core.
 
+Long runs should use the crash-safe checkpoint: ``--checkpoint FILE``
+journals every completed case, and after a crash or Ctrl-C the same
+command plus ``--resume`` continues exactly where it stopped (the
+merged result is bit-identical to an uninterrupted run). ``--retries``
+and ``--timeout`` guard against flaky or wedged cases: a case that
+exhausts its budget is recorded as a harness error and excluded from
+the tables instead of aborting the campaign.
+
 Run: ``python examples/full_campaign.py [--scale 0.15] [--missions 2,5,10]
-      [--workers 1] [--durations 2,5,10,30] [--seed 0]``
+      [--workers 1] [--durations 2,5,10,30] [--seed 0]
+      [--checkpoint run.jsonl --resume] [--retries 3] [--timeout 600]``
 """
 
 import argparse
+import sys
 import time
 
 from repro import (
     CampaignConfig,
+    RetryPolicy,
     check_paper_shapes,
     export_csv,
+    harness_error_report,
     render_shape_checks,
     render_table,
     run_campaign,
@@ -26,6 +38,7 @@ from repro import (
     table3_by_fault,
     table4_failure_analysis,
 )
+from repro.core.tables import harness_error_note
 
 
 def main():
@@ -39,7 +52,22 @@ def main():
                         help="write raw results to this JSON file")
     parser.add_argument("--csv", type=str, default=None,
                         help="write raw results to this CSV file")
+    parser.add_argument("--checkpoint", type=str, default=None,
+                        help="crash-safe JSONL journal; every completed case "
+                             "is appended and fsync'd")
+    parser.add_argument("--resume", action="store_true",
+                        help="continue from --checkpoint, skipping cases it "
+                             "already holds")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="attempts per case before it is recorded as a "
+                             "harness error (default 1 = no retry)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-case wall-clock limit in seconds")
+    parser.add_argument("--backoff", type=float, default=1.0,
+                        help="base backoff sleep between retries (seconds)")
     args = parser.parse_args()
+    if args.resume and not args.checkpoint:
+        parser.error("--resume requires --checkpoint")
 
     config = CampaignConfig(
         scale=args.scale,
@@ -47,6 +75,11 @@ def main():
         durations_s=tuple(float(d) for d in args.durations.split(",")),
         workers=args.workers,
         base_seed=args.seed,
+    )
+    policy = RetryPolicy(
+        max_attempts=max(1, args.retries),
+        backoff_base_s=args.backoff,
+        timeout_s=args.timeout,
     )
     cases = (
         len(config.mission_ids) * 21 * len(config.durations_s) + len(config.mission_ids)
@@ -56,7 +89,24 @@ def main():
         f"injection at t={config.effective_injection_time_s:.0f}s) ..."
     )
     start = time.time()
-    campaign = run_campaign(config, progress=True)
+    try:
+        campaign = run_campaign(
+            config,
+            progress=True,
+            retry_policy=policy,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+        )
+    except KeyboardInterrupt:
+        print("\ninterrupted.")
+        if args.checkpoint:
+            print(
+                f"completed cases are journalled in {args.checkpoint}; "
+                "re-run with --resume to continue from there."
+            )
+        else:
+            print("no --checkpoint was given, so progress was not saved.")
+        sys.exit(130)
     print(f"done in {time.time() - start:.0f} s\n")
 
     print(render_table(table2_by_duration(campaign),
@@ -67,8 +117,14 @@ def main():
     print()
     print(render_table(table4_failure_analysis(campaign),
                        "TABLE IV: mission failure analysis"))
+    note = harness_error_note(campaign)
+    if note:
+        print(note)
     print()
     print(render_shape_checks(check_paper_shapes(campaign)))
+    if campaign.harness_errors:
+        print()
+        print(harness_error_report(campaign))
 
     if args.save:
         save_campaign(campaign, args.save)

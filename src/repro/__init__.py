@@ -35,8 +35,20 @@ from repro.core import (
     render_table,
 )
 from repro.core.campaign import CampaignConfig, run_campaign, run_experiment, quick_config
-from repro.core.io import save_campaign, load_campaign, export_csv
-from repro.core.analysis import check_paper_shapes, render_shape_checks, severity_ranking
+from repro.core.io import (
+    save_campaign,
+    load_campaign,
+    export_csv,
+    CampaignJournal,
+    JournalMismatchError,
+)
+from repro.core.resilience import RetryPolicy, CaseTimeoutError, NO_RETRY
+from repro.core.analysis import (
+    check_paper_shapes,
+    harness_error_report,
+    render_shape_checks,
+    severity_ranking,
+)
 from repro.flightstack import MissionOutcome, FlightParams
 
 __version__ = "1.0.0"
@@ -69,6 +81,12 @@ __all__ = [
     "save_campaign",
     "load_campaign",
     "export_csv",
+    "CampaignJournal",
+    "JournalMismatchError",
+    "RetryPolicy",
+    "CaseTimeoutError",
+    "NO_RETRY",
+    "harness_error_report",
     "check_paper_shapes",
     "render_shape_checks",
     "severity_ranking",

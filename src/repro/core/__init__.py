@@ -34,7 +34,19 @@ from repro.core.tables import (
     table4_failure_analysis,
     render_table,
 )
-from repro.core.io import save_campaign, load_campaign, export_csv
+from repro.core.io import (
+    save_campaign,
+    load_campaign,
+    export_csv,
+    CampaignJournal,
+    JournalMismatchError,
+)
+from repro.core.resilience import (
+    RetryPolicy,
+    CaseTimeoutError,
+    NO_RETRY,
+    campaign_fingerprint,
+)
 from repro.core.paper_reference import (
     PAPER_TABLE2,
     PAPER_TABLE3,
@@ -62,6 +74,12 @@ __all__ = [
     "save_campaign",
     "load_campaign",
     "export_csv",
+    "CampaignJournal",
+    "JournalMismatchError",
+    "RetryPolicy",
+    "CaseTimeoutError",
+    "NO_RETRY",
+    "campaign_fingerprint",
     "PAPER_TABLE2",
     "PAPER_TABLE3",
     "PAPER_TABLE4",

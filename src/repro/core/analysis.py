@@ -94,100 +94,127 @@ def check_paper_shapes(campaign: CampaignResult) -> list[ShapeCheck]:
     Returns one :class:`ShapeCheck` per finding; EXPERIMENTS.md renders
     these verbatim. The checks intentionally test *orderings*, not
     absolute percentages.
+
+    A check whose input group is missing — a subset campaign, or cases
+    excluded as harness errors — degrades to ``holds=False`` with a
+    "not evaluable" detail instead of raising, so an incomplete
+    campaign still yields a full report.
     """
     checks: list[ShapeCheck] = []
 
     def add(name, description, holds, detail):
+        # ``holds``/``detail`` arrive lazily so a missing result group
+        # fails only its own check, not the whole report.
+        try:
+            holds, detail = bool(holds()), detail()
+        except (ValueError, KeyError, IndexError, ZeroDivisionError) as exc:
+            holds, detail = False, f"not evaluable on this campaign: {exc}"
         checks.append(ShapeCheck(name, description, holds, detail))
 
+    def durations():
+        return sorted({r.injection_duration_s for r in campaign.faulty})
+
+    def completion_by_duration():
+        return {
+            d: 100.0
+            * sum(r.completed for r in campaign.by_duration(d))
+            / len(campaign.by_duration(d))
+            for d in durations()
+        }
+
     # 1. Gold baseline is clean.
-    gold_ok = bool(campaign.gold) and all(
-        r.completed and r.inner_violations == 0 for r in campaign.gold
-    )
     add(
         "gold-baseline",
         "Gold runs complete 100% with zero bubble violations",
-        gold_ok,
-        f"{sum(r.completed for r in campaign.gold)}/{len(campaign.gold)} completed",
+        lambda: bool(campaign.gold)
+        and all(r.completed and r.inner_violations == 0 for r in campaign.gold),
+        lambda: f"{sum(r.completed for r in campaign.gold)}/{len(campaign.gold)} completed",
     )
 
     # 2. Longest injections complete least.
-    durations = sorted({r.injection_duration_s for r in campaign.faulty})
-    completion_by_duration = {
-        d: 100.0 * sum(r.completed for r in campaign.by_duration(d)) / len(campaign.by_duration(d))
-        for d in durations
-    }
     add(
         "duration-severity",
         "30 s injections complete fewer missions than 2 s injections",
-        completion_by_duration[durations[-1]] <= completion_by_duration[durations[0]],
-        f"completion by duration: {completion_by_duration}",
+        lambda: completion_by_duration()[durations()[-1]]
+        <= completion_by_duration()[durations()[0]],
+        lambda: f"completion by duration: {completion_by_duration()}",
     )
 
     # 3. Even the shortest injection fails most missions (paper: 80%).
-    shortest = completion_by_duration[durations[0]]
     add(
         "short-injections-deadly",
         "Even the shortest injections fail the majority of missions",
-        shortest < 50.0,
-        f"{100 - shortest:.1f}% failed at {durations[0]} s",
+        lambda: completion_by_duration()[durations()[0]] < 50.0,
+        lambda: f"{100 - completion_by_duration()[durations()[0]]:.1f}% "
+        f"failed at {durations()[0]} s",
     )
 
     # 4. Violations grow with duration.
-    viol = {
-        d: sum(r.inner_violations for r in campaign.by_duration(d)) / len(campaign.by_duration(d))
-        for d in durations
-    }
+    def viol():
+        return {
+            d: sum(r.inner_violations for r in campaign.by_duration(d))
+            / len(campaign.by_duration(d))
+            for d in durations()
+        }
+
     add(
         "duration-violations",
         "Longest injections produce the most inner-bubble violations",
-        viol[durations[-1]] >= viol[durations[0]],
-        f"inner violations by duration: { {k: round(v, 2) for k, v in viol.items()} }",
+        lambda: viol()[durations()[-1]] >= viol()[durations()[0]],
+        lambda: f"inner violations by duration: "
+        f"{ {k: round(v, 2) for k, v in viol().items()} }",
     )
 
     # 5. Benign accel faults (Zeros/Noise) survive; violent ones do not.
-    acc_benign = max(_completion(campaign, "Acc Zeros"), _completion(campaign, "Acc Noise"))
-    acc_violent = max(
-        _completion(campaign, "Acc Min"),
-        _completion(campaign, "Acc Max"),
-        _completion(campaign, "Acc Random"),
-    )
+    def acc_benign():
+        return max(_completion(campaign, "Acc Zeros"), _completion(campaign, "Acc Noise"))
+
+    def acc_violent():
+        return max(
+            _completion(campaign, "Acc Min"),
+            _completion(campaign, "Acc Max"),
+            _completion(campaign, "Acc Random"),
+        )
+
     add(
         "acc-zeros-noise-survivable",
         "Acc Zeros/Noise complete far more missions than Acc Min/Max/Random",
-        acc_benign > acc_violent,
-        f"benign {acc_benign:.1f}% vs violent {acc_violent:.1f}%",
+        lambda: acc_benign() > acc_violent(),
+        lambda: f"benign {acc_benign():.1f}% vs violent {acc_violent():.1f}%",
     )
 
     # 6. Gyro Zeros beats Gyro Min (the paper's Sec. IV-D observation).
     add(
         "gyro-zeros-vs-min",
         "Zeros are better handled than Min for the gyrometer",
-        _completion(campaign, "Gyro Zeros") > _completion(campaign, "Gyro Min"),
-        f"Gyro Zeros {_completion(campaign, 'Gyro Zeros'):.1f}% vs "
+        lambda: _completion(campaign, "Gyro Zeros") > _completion(campaign, "Gyro Min"),
+        lambda: f"Gyro Zeros {_completion(campaign, 'Gyro Zeros'):.1f}% vs "
         f"Gyro Min {_completion(campaign, 'Gyro Min'):.1f}%",
     )
 
     # 7. Component criticality ordering: Acc < Gyro < IMU failure rates.
-    acc = _component_failure(campaign, "accel")
-    gyro = _component_failure(campaign, "gyro")
-    imu = _component_failure(campaign, "imu")
     add(
         "component-ordering",
         "Failure rates order Acc < Gyro < IMU (paper: 73% / 87.5% / 96%)",
-        acc < gyro < imu,
-        f"Acc {acc:.1f}% / Gyro {gyro:.1f}% / IMU {imu:.1f}%",
+        lambda: _component_failure(campaign, "accel")
+        < _component_failure(campaign, "gyro")
+        < _component_failure(campaign, "imu"),
+        lambda: f"Acc {_component_failure(campaign, 'accel'):.1f}% / "
+        f"Gyro {_component_failure(campaign, 'gyro'):.1f}% / "
+        f"IMU {_component_failure(campaign, 'imu'):.1f}%",
     )
 
     # 8. IMU faults include total-loss rows (0% completion).
-    imu_rows = [
-        _completion(campaign, _fault_label(FaultTarget.IMU, ft)) for ft in FaultType
-    ]
+    def imu_rows():
+        return [
+            _completion(campaign, _fault_label(FaultTarget.IMU, ft)) for ft in FaultType
+        ]
+
     add(
         "imu-total-loss-rows",
         "Several full-IMU faults produce (near-)total mission loss",
-        sum(1 for pct in imu_rows if pct <= 5.0) >= 3,
-        f"IMU per-fault completion: {[round(p, 1) for p in imu_rows]}",
+        lambda: sum(1 for pct in imu_rows() if pct <= 5.0) >= 3,
+        lambda: f"IMU per-fault completion: {[round(p, 1) for p in imu_rows()]}",
     )
 
     # 9. Accelerometer faults produce the heaviest violation counts
@@ -199,12 +226,35 @@ def check_paper_shapes(campaign: CampaignResult) -> list[ShapeCheck]:
     add(
         "acc-heaviest-violations",
         "Accelerometer faults cause more bubble violations than gyro faults",
-        avg_inner("accel") > avg_inner("gyro"),
-        f"avg inner violations: Acc {avg_inner('accel'):.2f} vs "
+        lambda: avg_inner("accel") > avg_inner("gyro"),
+        lambda: f"avg inner violations: Acc {avg_inner('accel'):.2f} vs "
         f"Gyro {avg_inner('gyro'):.2f}",
     )
 
     return checks
+
+
+def harness_error_report(campaign: CampaignResult) -> str:
+    """Human-readable report of cases the *harness* failed to complete.
+
+    Harness errors (a case that raised, hung, or lost its worker and
+    exhausted its retries) are excluded from every paper table — they
+    describe the infrastructure, not the vehicle — so this report is
+    the one place they surface. Re-running with ``resume=True`` against
+    the campaign checkpoint retries exactly these cases.
+    """
+    errors = campaign.harness_errors
+    if not errors:
+        return "Harness errors: none (all cases produced a mission verdict)"
+    lines = [
+        f"Harness errors: {len(errors)} case(s) excluded from paper tables"
+    ]
+    for r in sorted(errors, key=lambda r: r.experiment_id):
+        lines.append(
+            f"  #{r.experiment_id} mission {r.mission_id} [{r.fault_label}] "
+            f"after {r.attempts} attempt(s): {r.error}"
+        )
+    return "\n".join(lines)
 
 
 def render_shape_checks(checks: list[ShapeCheck]) -> str:

@@ -5,6 +5,15 @@ A campaign is configured once (:class:`CampaignConfig`), after which
 processes (each case is fully independent and deterministically
 seeded, so parallelism cannot change results).
 
+The runner is *resilient*: a case that raises, hangs past its
+wall-clock budget, or loses its worker process is retried under a
+:class:`~repro.core.resilience.RetryPolicy` and, once retries are
+exhausted, degrades to a structured harness-error record instead of
+aborting the matrix. With ``checkpoint_path`` every completed case is
+journalled to a crash-safe JSONL file that ``resume=True`` picks up
+after a crash or kill; a resumed campaign is bit-identical to an
+uninterrupted one with the same config and seed.
+
 The ``scale`` knob shrinks mission geometry (and proportionally the
 injection time) so the full 850-case matrix can run in CI-sized time
 budgets; ``scale=1.0`` is the paper-scale scenario with ~491 s gold
@@ -13,8 +22,13 @@ runs and injection at 90 s.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import dataclasses
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.experiments import (
     PAPER_DURATIONS_S,
@@ -22,9 +36,19 @@ from repro.core.experiments import (
     ExperimentSpec,
     build_experiment_matrix,
 )
-from repro.core.results import CampaignResult, ExperimentResult
+from repro.core.io import CampaignJournal
+from repro.core.resilience import (
+    NO_RETRY,
+    CaseTimeoutError,
+    RetryPolicy,
+    campaign_fingerprint,
+    run_with_timeout,
+)
+from repro.core.results import CampaignResult, ExperimentResult, harness_error_result
 from repro.missions.valencia import valencia_missions
 from repro.system import MissionResult, SystemConfig, UavSystem
+
+Runner = Callable[["ExperimentSpec", "CampaignConfig"], ExperimentResult]
 
 
 @dataclass(frozen=True)
@@ -56,6 +80,26 @@ class CampaignConfig:
             raise ValueError("scale must be positive")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if not self.durations_s:
+            raise ValueError("durations_s must not be empty")
+        for duration in self.durations_s:
+            if duration <= 0.0:
+                raise ValueError(
+                    f"durations_s must be positive, got {duration!r}"
+                )
+        if not self.mission_ids:
+            raise ValueError("mission_ids must not be empty")
+        for mission_id in self.mission_ids:
+            if not 1 <= mission_id <= 10:
+                raise ValueError(
+                    f"mission_ids must be within 1-10 (the Valencia "
+                    f"scenario has ten missions), got {mission_id!r}"
+                )
+        if self.injection_time_s is not None and self.injection_time_s < 0.0:
+            raise ValueError(
+                f"injection_time_s must be non-negative, got "
+                f"{self.injection_time_s!r}"
+            )
 
     @property
     def effective_injection_time_s(self) -> float:
@@ -78,19 +122,79 @@ def run_experiment(spec: ExperimentSpec, config: CampaignConfig) -> ExperimentRe
     return _to_result(spec, mission_result)
 
 
+@dataclass
+class _PendingCase:
+    """One not-yet-completed case plus its retry bookkeeping."""
+
+    spec: ExperimentSpec
+    attempt: int = 1
+    ready_time: float = 0.0  # monotonic time before which we must not run
+    suspect: bool = False  # was in flight when a process pool broke
+
+
+class _Recorder:
+    """Collects finished cases: journal append, progress tick, stash."""
+
+    def __init__(
+        self,
+        journal: CampaignJournal | None,
+        progress: bool,
+        total: int,
+        already_done: int,
+    ) -> None:
+        self.journal = journal
+        self.progress = progress
+        self.total = total
+        self.count = already_done
+        self.by_id: dict[int, ExperimentResult] = {}
+
+    def record(self, result: ExperimentResult) -> None:
+        self.by_id[result.experiment_id] = result
+        if self.journal is not None:
+            self.journal.append(result)
+        self.count += 1
+        if self.progress and self.count % 10 == 0:
+            print(f"  ... {self.count}/{self.total} experiments done", flush=True)
+
+
 def run_campaign(
     config: CampaignConfig | None = None,
     specs: list[ExperimentSpec] | None = None,
     progress: bool = False,
+    *,
+    retry_policy: RetryPolicy | None = None,
+    checkpoint_path: str | None = None,
+    resume: bool = False,
+    runner: Runner | None = None,
 ) -> CampaignResult:
-    """Run a whole experiment matrix.
+    """Run a whole experiment matrix, resiliently.
 
     Args:
         config: campaign configuration (default: paper-scale, all cases).
         specs: explicit case list; by default the full matrix for
             ``config`` is built.
         progress: print a one-line progress ticker (useful for the
-            multi-minute full campaign).
+            multi-minute full campaign). In parallel mode the ticker
+            advances in completion order, so one slow early case cannot
+            stall it.
+        retry_policy: retries / backoff / per-case timeout. The default
+            (:data:`~repro.core.resilience.NO_RETRY`) makes one attempt
+            with no timeout; either way a case that exhausts its
+            attempts becomes a harness-error record, never an abort.
+        checkpoint_path: JSONL journal file; every completed case is
+            appended and fsync'd, and the file is atomically marked
+            complete when the campaign finishes.
+        resume: load ``checkpoint_path`` (validating its campaign
+            fingerprint) and skip already-completed cases. Previously
+            harness-errored cases are re-run — resume is the recovery
+            path for transient infrastructure failures.
+        runner: the per-case callable (default :func:`run_experiment`);
+            injectable for harness tests. Must be picklable when
+            ``config.workers > 1``.
+
+    Results are always returned in spec order regardless of worker
+    count, retries, or resume — parallelism and harness faults cannot
+    change the output.
     """
     config = config or CampaignConfig()
     if specs is None:
@@ -101,27 +205,270 @@ def run_campaign(
             base_seed=config.base_seed,
             include_gold=config.include_gold,
         )
+    policy = retry_policy or NO_RETRY
+    runner = runner or run_experiment
 
-    results: list[ExperimentResult] = []
-    if config.workers == 1:
-        for index, spec in enumerate(specs):
-            results.append(run_experiment(spec, config))
-            if progress and (index + 1) % 10 == 0:
-                print(f"  ... {index + 1}/{len(specs)} experiments done", flush=True)
-    else:
-        with ProcessPoolExecutor(max_workers=config.workers) as pool:
-            futures = [pool.submit(run_experiment, spec, config) for spec in specs]
-            for index, future in enumerate(futures):
-                results.append(future.result())
-                if progress and (index + 1) % 10 == 0:
-                    print(f"  ... {index + 1}/{len(specs)} experiments done", flush=True)
+    journal: CampaignJournal | None = None
+    done: dict[int, ExperimentResult] = {}
+    if checkpoint_path is not None:
+        journal = CampaignJournal(checkpoint_path)
+        fingerprint = campaign_fingerprint(config, specs)
+        if resume and journal.exists():
+            _, loaded = journal.load(expected_fingerprint=fingerprint)
+            # Keep only verdict rows: harness errors get another chance.
+            done = {
+                eid: r for eid, r in loaded.items() if not r.is_harness_error
+            }
+            if progress and done:
+                print(
+                    f"  resuming: {len(done)}/{len(specs)} cases already "
+                    "complete in checkpoint",
+                    flush=True,
+                )
+            journal.open_for_append()
+        else:
+            journal.create(
+                fingerprint=fingerprint,
+                scale=config.scale,
+                injection_time_s=config.effective_injection_time_s,
+                total_cases=len(specs),
+            )
 
+    pending = deque(
+        _PendingCase(spec) for spec in specs if spec.experiment_id not in done
+    )
+    recorder = _Recorder(journal, progress, total=len(specs), already_done=len(done))
+
+    try:
+        if config.workers == 1:
+            _execute_serial(pending, config, runner, policy, recorder)
+        else:
+            _execute_parallel(pending, config, runner, policy, recorder)
+        if journal is not None:
+            journal.finalize()
+    finally:
+        if journal is not None:
+            journal.close()
+
+    merged = {**done, **recorder.by_id}
     return CampaignResult(
-        results=results,
+        results=[merged[spec.experiment_id] for spec in specs],
         specs=list(specs),
         scale=config.scale,
         injection_time_s=config.effective_injection_time_s,
     )
+
+
+def _execute_serial(
+    pending: deque[_PendingCase],
+    config: CampaignConfig,
+    runner: Runner,
+    policy: RetryPolicy,
+    recorder: _Recorder,
+) -> None:
+    """In-process execution; timeouts enforced via a watchdog thread."""
+    while pending:
+        case = pending.popleft()
+        delay = case.ready_time - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        try:
+            result = run_with_timeout(
+                runner, (case.spec, config), policy.timeout_s
+            )
+        except Exception as exc:  # KeyboardInterrupt/SystemExit propagate
+            _retry_or_fail(case, exc, policy, pending, recorder, front=True)
+        else:
+            recorder.record(_stamp_attempts(result, case.attempt))
+
+
+def _execute_parallel(
+    pending: deque[_PendingCase],
+    config: CampaignConfig,
+    runner: Runner,
+    policy: RetryPolicy,
+    recorder: _Recorder,
+) -> None:
+    """Process-pool execution with timeout and broken-pool recovery.
+
+    Progress advances in completion order (``wait(FIRST_COMPLETED)``),
+    not submission order, so one slow early case cannot stall the
+    ticker. A case that exceeds ``policy.timeout_s`` forces a pool
+    teardown (the only way to reclaim a wedged worker); the timed-out
+    case is charged an attempt while innocent in-flight cases are
+    resubmitted for free. A :class:`BrokenProcessPool` (worker died)
+    cannot be attributed to a single future, so every in-flight case is
+    requeued uncharged as a *suspect* and re-run one at a time: the
+    case that breaks the pool while running alone is the offender, and
+    its attempt counter advances until it is excluded as a harness
+    error.
+    """
+    pool: ProcessPoolExecutor | None = None
+    active: dict[Future, _PendingCase] = {}
+    deadlines: dict[Future, float] = {}
+
+    def submit(case: _PendingCase, now: float) -> bool:
+        nonlocal pool
+        assert pool is not None
+        try:
+            future = pool.submit(runner, case.spec, config)
+        except BrokenProcessPool:
+            # Pool died between iterations; the case never ran, so
+            # requeue it without spending an attempt.
+            pending.appendleft(case)
+            _kill_pool(pool)
+            pool = None
+            return False
+        active[future] = case
+        if policy.timeout_s is not None:
+            deadlines[future] = now + policy.timeout_s
+        return True
+
+    try:
+        while pending or active:
+            if pool is None:
+                pool = ProcessPoolExecutor(max_workers=config.workers)
+            now = time.monotonic()
+
+            # Dispatch. Suspects (in flight during a pool break) run in
+            # isolation for blame attribution; otherwise fill every
+            # free worker slot with a ready case.
+            if not any(case.suspect for case in active.values()):
+                if any(case.suspect for case in pending):
+                    if not active:
+                        ready = next(
+                            (
+                                c
+                                for c in pending
+                                if c.suspect and c.ready_time <= now
+                            ),
+                            None,
+                        )
+                        if ready is not None:
+                            pending.remove(ready)
+                            submit(ready, now)
+                    # else: drain current actives before isolating.
+                else:
+                    still_waiting: list[_PendingCase] = []
+                    while pending and len(active) < config.workers:
+                        case = pending.popleft()
+                        if case.ready_time > now:
+                            still_waiting.append(case)
+                            continue
+                        if not submit(case, now):
+                            break
+                    pending.extendleft(reversed(still_waiting))
+                    if pool is None:
+                        continue
+
+            if not active:
+                # Nothing dispatchable right now: either everything is
+                # backing off, or suspects-in-backoff block the queue.
+                waiting = [c for c in pending if c.suspect] or list(pending)
+                time.sleep(max(0.0, min(c.ready_time for c in waiting) - now))
+                continue
+
+            timeout = None
+            wake_times = list(deadlines.values()) + [
+                c.ready_time for c in pending if c.ready_time > now
+            ]
+            if wake_times:
+                timeout = max(0.0, min(wake_times) - now)
+            finished, _ = wait(set(active), timeout=timeout, return_when=FIRST_COMPLETED)
+
+            pool_broken = False
+            for future in finished:
+                case = active.pop(future)
+                deadlines.pop(future, None)
+                try:
+                    result = future.result()
+                except BrokenProcessPool as exc:
+                    pool_broken = True
+                    if case.suspect:
+                        # Running alone when the pool broke: guilty.
+                        _retry_or_fail(
+                            case, exc, policy, pending, recorder, suspect=True
+                        )
+                    else:
+                        pending.append(
+                            _PendingCase(
+                                spec=case.spec,
+                                attempt=case.attempt,
+                                suspect=True,
+                            )
+                        )
+                except Exception as exc:
+                    _retry_or_fail(case, exc, policy, pending, recorder)
+                else:
+                    recorder.record(_stamp_attempts(result, case.attempt))
+
+            # Wall-clock enforcement: a future past its deadline means a
+            # wedged worker — tear the pool down to reclaim it.
+            now = time.monotonic()
+            expired = [f for f, d in deadlines.items() if d <= now]
+            if expired or pool_broken:
+                for future in expired:
+                    case = active.pop(future)
+                    deadlines.pop(future, None)
+                    timeout_exc = CaseTimeoutError(
+                        f"case exceeded wall-clock budget of {policy.timeout_s} s"
+                    )
+                    _retry_or_fail(case, timeout_exc, policy, pending, recorder)
+                # Innocent in-flight cases: resubmit, same attempt count.
+                for case in active.values():
+                    pending.append(case)
+                active.clear()
+                deadlines.clear()
+                _kill_pool(pool)
+                pool = None
+    except BaseException:
+        if pool is not None:
+            _kill_pool(pool)
+        raise
+    else:
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+def _retry_or_fail(
+    case: _PendingCase,
+    exc: BaseException,
+    policy: RetryPolicy,
+    pending: deque[_PendingCase],
+    recorder: _Recorder,
+    front: bool = False,
+    suspect: bool = False,
+) -> None:
+    """Requeue a failed case with backoff, or record its harness error."""
+    if case.attempt < policy.max_attempts:
+        delay = policy.delay_s(case.attempt, key=case.spec.experiment_id)
+        retried = _PendingCase(
+            spec=case.spec,
+            attempt=case.attempt + 1,
+            ready_time=time.monotonic() + delay,
+            suspect=suspect,
+        )
+        if front:
+            pending.appendleft(retried)
+        else:
+            pending.append(retried)
+    else:
+        recorder.record(harness_error_result(case.spec, exc, case.attempt))
+
+
+def _stamp_attempts(result: ExperimentResult, attempt: int) -> ExperimentResult:
+    """Carry the attempt count on retried-then-successful cases."""
+    if attempt == 1:
+        return result
+    return dataclasses.replace(result, attempts=attempt)
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Forcibly reclaim a pool that may contain wedged or dead workers."""
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        process.terminate()
+    pool.shutdown(wait=False, cancel_futures=True)
 
 
 def quick_config(workers: int = 1, base_seed: int = 0) -> CampaignConfig:

@@ -1,0 +1,156 @@
+"""Fault tolerance for the campaign harness itself.
+
+The paper's 850-case campaign takes hours at paper scale, so the
+harness must survive the same kinds of chaos it injects into the
+vehicle: a raising experiment, a diverged simulation that never
+terminates, or a worker process that dies mid-case. This module holds
+the reusable pieces:
+
+* :class:`RetryPolicy` — bounded retries with exponential backoff and
+  *deterministic* jitter (seeded by the case id, so two runs of the
+  same campaign sleep identically), plus an optional per-case
+  wall-clock timeout.
+* :class:`CaseTimeoutError` — raised (and recorded) when a case blows
+  its wall-clock budget.
+* :func:`run_with_timeout` — execute a callable under a wall-clock
+  limit without leaving the caller blocked on a hung case.
+* :func:`campaign_fingerprint` — a stable hash of everything that
+  determines campaign *results* (and nothing that does not, e.g.
+  ``workers``), used to guard checkpoint resume against config drift.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (campaign imports us)
+    from repro.core.campaign import CampaignConfig
+    from repro.core.experiments import ExperimentSpec
+
+
+class CaseTimeoutError(Exception):
+    """A single experiment case exceeded its wall-clock budget."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the harness treats a failing or hanging case.
+
+    Attributes:
+        max_attempts: total tries per case (1 = no retry).
+        backoff_base_s: sleep before attempt 2; 0 disables sleeping.
+        backoff_factor: multiplier applied per further attempt.
+        backoff_max_s: cap on any single backoff sleep.
+        jitter_frac: deterministic jitter amplitude (0..1) added on top
+            of the exponential delay; derived from the case key so the
+            schedule is reproducible.
+        timeout_s: per-case wall-clock limit; ``None`` disables it.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.0
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 30.0
+    jitter_frac: float = 0.1
+    timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_s < 0.0:
+            raise ValueError("backoff_base_s must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.backoff_max_s < 0.0:
+            raise ValueError("backoff_max_s must be non-negative")
+        if not 0.0 <= self.jitter_frac <= 1.0:
+            raise ValueError("jitter_frac must be within [0, 1]")
+        if self.timeout_s is not None and self.timeout_s <= 0.0:
+            raise ValueError("timeout_s must be positive (or None)")
+
+    def delay_s(self, attempt: int, key: int = 0) -> float:
+        """Backoff before retrying after the given failed attempt.
+
+        ``attempt`` counts from 1 (the first try). The jitter is a pure
+        function of ``(key, attempt)``, so identical campaigns produce
+        identical retry schedules.
+        """
+        if attempt < 1:
+            raise ValueError("attempt counts from 1")
+        base = self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+        base = min(self.backoff_max_s, base)
+        return base * (1.0 + self.jitter_frac * _unit_hash(key, attempt))
+
+
+#: Legacy behaviour: one attempt, no timeout — a raising case still
+#: degrades to a harness-error record rather than aborting the matrix.
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+
+def run_with_timeout(
+    fn: Callable[..., Any], args: tuple, timeout_s: float | None
+) -> Any:
+    """Call ``fn(*args)``, enforcing a wall-clock limit.
+
+    The call runs on a daemon thread so a hung case cannot wedge the
+    campaign (the thread is abandoned; the interpreter can still exit).
+    Without a timeout the call happens inline.
+
+    Raises:
+        CaseTimeoutError: the call did not finish within ``timeout_s``.
+    """
+    if timeout_s is None:
+        return fn(*args)
+
+    box: dict[str, Any] = {}
+
+    def target() -> None:
+        try:
+            box["result"] = fn(*args)
+        except BaseException as exc:  # noqa: BLE001 - re-raised in caller
+            box["error"] = exc
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    thread.join(timeout_s)
+    if thread.is_alive():
+        raise CaseTimeoutError(f"case exceeded wall-clock budget of {timeout_s} s")
+    if "error" in box:
+        raise box["error"]
+    return box["result"]
+
+
+def campaign_fingerprint(
+    config: "CampaignConfig", specs: Iterable["ExperimentSpec"]
+) -> str:
+    """Hash of everything that determines campaign results.
+
+    Deliberately excludes ``workers`` (parallelism cannot change
+    results) so a checkpoint written serially can be resumed with a
+    process pool and vice versa.
+    """
+    payload = {
+        "scale": config.scale,
+        "injection_time_s": config.effective_injection_time_s,
+        "durations_s": list(config.durations_s),
+        "mission_ids": list(config.mission_ids),
+        "base_seed": config.base_seed,
+        "include_gold": config.include_gold,
+        "specs": [
+            (s.experiment_id, s.mission_id, s.label, s.duration_s) for s in specs
+        ],
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    )
+    return digest.hexdigest()
+
+
+def _unit_hash(key: int, attempt: int) -> float:
+    """Deterministic pseudo-random value in [0, 1) for jitter."""
+    digest = hashlib.sha256(f"{key}:{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64

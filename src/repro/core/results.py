@@ -7,10 +7,23 @@ from dataclasses import dataclass, field
 from repro.core.experiments import ExperimentSpec
 from repro.flightstack.commander import MissionOutcome
 
+#: Serialized ``outcome`` label for rows whose *harness* failed (the
+#: experiment never produced a mission verdict). Kept distinct from the
+#: :class:`MissionOutcome` values so vehicle-level statistics can never
+#: absorb infrastructure failures.
+HARNESS_ERROR_OUTCOME = "harness_error"
+
 
 @dataclass(frozen=True)
 class ExperimentResult:
-    """Metrics of one executed experiment (one row of the raw data)."""
+    """Metrics of one executed experiment (one row of the raw data).
+
+    ``outcome is None`` marks a *harness error*: the case raised, hung
+    past its wall-clock budget, or lost its worker process and
+    exhausted its retries. Such rows carry the exception text in
+    ``error`` and are excluded from all paper statistics (they describe
+    the harness, not the vehicle).
+    """
 
     experiment_id: int
     mission_id: int
@@ -18,16 +31,23 @@ class ExperimentResult:
     fault_type: str | None
     target: str | None
     injection_duration_s: float | None
-    outcome: MissionOutcome
+    outcome: MissionOutcome | None
     flight_duration_s: float
     distance_km: float
     inner_violations: int
     outer_violations: int
     max_deviation_m: float
+    error: str | None = None
+    attempts: int = 1
 
     @property
     def is_gold(self) -> bool:
-        return self.fault_type is None
+        return self.fault_type is None and not self.is_harness_error
+
+    @property
+    def is_harness_error(self) -> bool:
+        """True when the harness, not the vehicle, failed this case."""
+        return self.outcome is None
 
     @property
     def completed(self) -> bool:
@@ -49,9 +69,38 @@ class ExperimentResult:
         return self.outcome in (MissionOutcome.FAILSAFE, MissionOutcome.TIMEOUT)
 
 
+def harness_error_result(
+    spec: ExperimentSpec, error: BaseException | str, attempts: int
+) -> ExperimentResult:
+    """Structured record for a case the harness could not complete."""
+    if isinstance(error, BaseException):
+        error = f"{type(error).__name__}: {error}"
+    return ExperimentResult(
+        experiment_id=spec.experiment_id,
+        mission_id=spec.mission_id,
+        fault_label=spec.label,
+        fault_type=spec.fault.fault_type.value if spec.fault else None,
+        target=spec.fault.target.value if spec.fault else None,
+        injection_duration_s=spec.duration_s,
+        outcome=None,
+        flight_duration_s=0.0,
+        distance_km=0.0,
+        inner_violations=0,
+        outer_violations=0,
+        max_deviation_m=0.0,
+        error=error,
+        attempts=attempts,
+    )
+
+
 @dataclass
 class CampaignResult:
-    """All experiment results of one campaign, plus its provenance."""
+    """All experiment results of one campaign, plus its provenance.
+
+    Harness-error rows stay in ``results`` (the raw record of the run)
+    but are excluded from ``gold``/``faulty`` — and therefore from
+    every paper table — via the ``ok`` filter.
+    """
 
     results: list[ExperimentResult] = field(default_factory=list)
     specs: list[ExperimentSpec] = field(default_factory=list)
@@ -59,12 +108,22 @@ class CampaignResult:
     injection_time_s: float = 90.0
 
     @property
+    def ok(self) -> list[ExperimentResult]:
+        """Results that produced a mission verdict (no harness errors)."""
+        return [r for r in self.results if not r.is_harness_error]
+
+    @property
+    def harness_errors(self) -> list[ExperimentResult]:
+        """Cases the harness failed to complete (excluded from tables)."""
+        return [r for r in self.results if r.is_harness_error]
+
+    @property
     def gold(self) -> list[ExperimentResult]:
-        return [r for r in self.results if r.is_gold]
+        return [r for r in self.ok if r.is_gold]
 
     @property
     def faulty(self) -> list[ExperimentResult]:
-        return [r for r in self.results if not r.is_gold]
+        return [r for r in self.ok if not r.is_gold]
 
     def by_duration(self, duration_s: float) -> list[ExperimentResult]:
         """Faulty results with the given injection duration."""

@@ -17,6 +17,21 @@ _FAULT_LABEL_ORDER = [
 ]
 
 
+def harness_error_note(campaign: CampaignResult) -> str:
+    """One-line annotation for table output when cases were excluded.
+
+    Tables II-IV are computed over ``campaign.gold``/``campaign.faulty``
+    which already exclude harness-error rows; this note makes the
+    exclusion visible next to the rendered tables (empty string when
+    every case produced a mission verdict). The detailed per-case list
+    is :func:`repro.core.analysis.harness_error_report`.
+    """
+    n = len(campaign.harness_errors)
+    if n == 0:
+        return ""
+    return f"(note: {n} harness-error case(s) excluded from this table)"
+
+
 def table2_by_duration(campaign: CampaignResult) -> list[SummaryRow]:
     """Table II: averages of all missions/faults grouped by duration.
 
