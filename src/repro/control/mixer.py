@@ -55,6 +55,14 @@ class Mixer:
         g = self.gains
         weights = np.array([g.roll_pitch, g.roll_pitch, g.yaw])
         torque_part = self._SIGNS @ (np.clip(torque_cmd, -1.0, 1.0) * weights)
+
+        # When the torque demand alone spans more than the [0, 1] command
+        # range, no collective shift can fit it; scale it down uniformly
+        # (preserving ratios and signs) so the final clip never zeroes a
+        # motor and flips a small torque's direction.
+        span = float(torque_part.max() - torque_part.min())
+        if span > 1.0:
+            torque_part = torque_part / span
         fractions = collective + torque_part
 
         # Desaturate by shifting collective; torque differences survive.

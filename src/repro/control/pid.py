@@ -48,6 +48,8 @@ class Pid:
         """Advance the loop and return the actuation command."""
         p = self.params
         error = np.asarray(error, dtype=float)
+        if dt <= 0.0:
+            raise ValueError(f"dt must be positive, got {dt}")
 
         if p.ki > 0.0:
             self._integral = np.clip(

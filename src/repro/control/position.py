@@ -47,6 +47,10 @@ class PositionController:
         gravity_m_s2: float = 9.80665,
     ):
         self.params = params or PositionControllerParams()
+        if max_total_thrust_n <= 0.0:
+            raise ValueError(
+                f"max_total_thrust_n must be positive, got {max_total_thrust_n}"
+            )
         self.mass_kg = mass_kg
         self.max_total_thrust_n = max_total_thrust_n
         self.gravity = gravity_m_s2

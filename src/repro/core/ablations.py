@@ -19,6 +19,7 @@ a targeted slice of the fault matrix with the mechanism altered:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.faults import FaultSpec, FaultTarget, FaultType
 from repro.estimation import EkfParams
@@ -45,7 +46,7 @@ def _run_slice(
     faults: list[FaultSpec],
     mission_ids: tuple[int, ...],
     scale: float,
-    config_factory,
+    config_factory: Callable[[], SystemConfig],
 ) -> tuple[int, float, float, float, float, float]:
     """Run every (mission, fault) pair; return aggregate outcome stats."""
     plans = {p.mission_id: p for p in valencia_missions(scale=scale)}
@@ -58,6 +59,8 @@ def _run_slice(
             outcomes.append(result.outcome)
             inner += result.inner_violations
             outer += result.outer_violations
+    if not outcomes:
+        raise ValueError("ablation slice produced no runs (empty missions or faults)")
     n = len(outcomes)
     completed = 100.0 * sum(o == MissionOutcome.COMPLETED for o in outcomes) / n
     crashed = 100.0 * sum(o == MissionOutcome.CRASHED for o in outcomes) / n
@@ -87,7 +90,7 @@ def isolation_time_sweep(
     points = []
     faults = _gyro_fault_slice(injection_time_s)
     for isolation in isolation_times_s:
-        def factory(isolation=isolation):
+        def factory(isolation: float = isolation) -> SystemConfig:
             params = FlightParams(fs_isolation_time_s=isolation)
             return SystemConfig(flight_params=params)
 
@@ -110,7 +113,7 @@ def gyro_threshold_sweep(
     points = []
     faults = _gyro_fault_slice(injection_time_s)
     for threshold in thresholds_deg_s:
-        def factory(threshold=threshold):
+        def factory(threshold: float = threshold) -> SystemConfig:
             params = FlightParams(
                 fd_gyro_rate_threshold_rad_s=math.radians(threshold)
             )
@@ -136,7 +139,7 @@ def fusion_reset_ablation(
     ]
     points = []
     for enabled in (True, False):
-        def factory(enabled=enabled):
+        def factory(enabled: bool = enabled) -> SystemConfig:
             return SystemConfig(ekf_params=EkfParams(enable_fusion_reset=enabled))
 
         n, comp, crash, fs, inner, outer = _run_slice(faults, mission_ids, scale, factory)
@@ -158,7 +161,7 @@ def confidence_scheduling_ablation(
     ]
     points = []
     for enabled in (True, False):
-        def factory(enabled=enabled):
+        def factory(enabled: bool = enabled) -> SystemConfig:
             return SystemConfig(confidence_scheduling=enabled)
 
         n, comp, crash, fs, inner, outer = _run_slice(faults, mission_ids, scale, factory)
@@ -179,7 +182,7 @@ def risk_factor_sweep(
     fault = FaultSpec(FaultType.ZEROS, FaultTarget.ACCEL, injection_time_s, 10.0, seed=1)
     points = []
     for risk in risk_factors:
-        def factory(risk=risk):
+        def factory(risk: float = risk) -> SystemConfig:
             return SystemConfig(risk_factor=risk)
 
         n, comp, crash, fs, inner, outer = _run_slice([fault], mission_ids, scale, factory)

@@ -15,10 +15,11 @@ Beyond the paper's three tables, this module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.faults import FaultTarget, FaultType
 from repro.core.metrics import SummaryRow, summarize
-from repro.core.results import CampaignResult, ExperimentResult
+from repro.core.results import CampaignResult
 from repro.core.tables import _fault_label
 
 
@@ -102,7 +103,12 @@ def check_paper_shapes(campaign: CampaignResult) -> list[ShapeCheck]:
     """
     checks: list[ShapeCheck] = []
 
-    def add(name, description, holds, detail):
+    def add(
+        name: str,
+        description: str,
+        holds: Callable[[], object],
+        detail: Callable[[], str],
+    ) -> None:
         # ``holds``/``detail`` arrive lazily so a missing result group
         # fails only its own check, not the whole report.
         try:
@@ -111,10 +117,10 @@ def check_paper_shapes(campaign: CampaignResult) -> list[ShapeCheck]:
             holds, detail = False, f"not evaluable on this campaign: {exc}"
         checks.append(ShapeCheck(name, description, holds, detail))
 
-    def durations():
+    def durations() -> list[float]:
         return sorted({r.injection_duration_s for r in campaign.faulty})
 
-    def completion_by_duration():
+    def completion_by_duration() -> dict[float, float]:
         return {
             d: 100.0
             * sum(r.completed for r in campaign.by_duration(d))
@@ -150,7 +156,7 @@ def check_paper_shapes(campaign: CampaignResult) -> list[ShapeCheck]:
     )
 
     # 4. Violations grow with duration.
-    def viol():
+    def viol() -> dict[float, float]:
         return {
             d: sum(r.inner_violations for r in campaign.by_duration(d))
             / len(campaign.by_duration(d))
@@ -166,10 +172,10 @@ def check_paper_shapes(campaign: CampaignResult) -> list[ShapeCheck]:
     )
 
     # 5. Benign accel faults (Zeros/Noise) survive; violent ones do not.
-    def acc_benign():
+    def acc_benign() -> float:
         return max(_completion(campaign, "Acc Zeros"), _completion(campaign, "Acc Noise"))
 
-    def acc_violent():
+    def acc_violent() -> float:
         return max(
             _completion(campaign, "Acc Min"),
             _completion(campaign, "Acc Max"),
@@ -205,7 +211,7 @@ def check_paper_shapes(campaign: CampaignResult) -> list[ShapeCheck]:
     )
 
     # 8. IMU faults include total-loss rows (0% completion).
-    def imu_rows():
+    def imu_rows() -> list[float]:
         return [
             _completion(campaign, _fault_label(FaultTarget.IMU, ft)) for ft in FaultType
         ]

@@ -1,0 +1,40 @@
+"""The atomic-write primitive, dependency-free.
+
+Lives in its own module (rather than :mod:`repro.core.io`) so leaf
+packages like :mod:`repro.missions` and :mod:`repro.telemetry` can use
+it without importing the campaign-results machinery — ``core.io``
+imports result types from across the tree, which would cycle.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` via a same-directory temp + replace.
+
+    ``os.replace`` is atomic on POSIX, so readers either see the old
+    file or the complete new one — never a truncated mix. This is the
+    one sanctioned way to write a file anywhere in the tree (enforced
+    by reprolint rule IO001); writers in other packages import it from
+    here.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent or Path("."), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise

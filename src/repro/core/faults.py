@@ -25,7 +25,7 @@ physical saturation values of the modelled MEMS part.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -132,7 +132,7 @@ class FaultBehavior:
         seed: int,
         noise_fraction: float,
         noise_bias_fraction: float = 0.03,
-    ):
+    ) -> None:
         if sensor_range <= 0.0:
             raise ValueError("sensor_range must be positive")
         self.fault_type = fault_type

@@ -21,7 +21,7 @@ class SensorFaultInjector:
     state so FIXED draws its random constant exactly once per window.
     """
 
-    def __init__(self, spec: FaultSpec | None, accel_range: float, gyro_range: float):
+    def __init__(self, spec: FaultSpec | None, accel_range: float, gyro_range: float) -> None:
         self.spec = spec
         self._was_active = False
         self._accel_behavior: FaultBehavior | None = None

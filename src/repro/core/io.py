@@ -19,10 +19,10 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 from pathlib import Path
 from typing import IO, Any
 
+from repro.core.atomicio import atomic_write_text
 from repro.core.results import (
     HARNESS_ERROR_OUTCOME,
     CampaignResult,
@@ -75,29 +75,6 @@ def _result_from_dict(r: dict[str, Any]) -> ExperimentResult:
     )
 
 
-def _atomic_write_text(path: Path, text: str) -> None:
-    """Write ``text`` to ``path`` via a same-directory temp + replace.
-
-    ``os.replace`` is atomic on POSIX, so readers either see the old
-    file or the complete new one — never a truncated mix.
-    """
-    fd, tmp_name = tempfile.mkstemp(
-        dir=path.parent or Path("."), prefix=f".{path.name}.", suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "w") as handle:
-            handle.write(text)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
-
-
 def save_campaign(campaign: CampaignResult, path: str | Path) -> None:
     """Write a campaign to ``path`` as JSON (atomically)."""
     payload = {
@@ -106,7 +83,7 @@ def save_campaign(campaign: CampaignResult, path: str | Path) -> None:
         "injection_time_s": campaign.injection_time_s,
         "results": [_result_to_dict(r) for r in campaign.results],
     }
-    _atomic_write_text(Path(path), json.dumps(payload, indent=1))
+    atomic_write_text(Path(path), json.dumps(payload, indent=1))
 
 
 def load_campaign(path: str | Path) -> CampaignResult:
@@ -150,7 +127,7 @@ def export_csv(campaign: CampaignResult, path: str | Path) -> None:
             f"{r.inner_violations},{r.outer_violations},{r.max_deviation_m:.3f},"
             f"{error},{r.attempts}"
         )
-    _atomic_write_text(Path(path), "\n".join(lines) + "\n")
+    atomic_write_text(Path(path), "\n".join(lines) + "\n")
 
 
 class JournalMismatchError(ValueError):
@@ -272,7 +249,7 @@ class CampaignJournal:
                 for r in ordered
             ]
         )
-        _atomic_write_text(self.path, text + "\n")
+        atomic_write_text(self.path, text + "\n")
 
     def close(self) -> None:
         if self._handle is not None:

@@ -133,6 +133,8 @@ def campaign_fingerprint(
     results) so a checkpoint written serially can be resumed with a
     process pool and vice versa.
     """
+    from repro.core.results import fault_spec_to_dict
+
     payload = {
         "scale": config.scale,
         "injection_time_s": config.effective_injection_time_s,
@@ -140,8 +142,18 @@ def campaign_fingerprint(
         "mission_ids": list(config.mission_ids),
         "base_seed": config.base_seed,
         "include_gold": config.include_gold,
+        # Every FaultSpec field goes through the canonical serializer:
+        # a seed or noise-fraction change must change the fingerprint,
+        # or resume would silently mix results from different campaigns.
         "specs": [
-            (s.experiment_id, s.mission_id, s.label, s.duration_s) for s in specs
+            (
+                s.experiment_id,
+                s.mission_id,
+                s.label,
+                s.duration_s,
+                fault_spec_to_dict(s.fault) if s.fault is not None else None,
+            )
+            for s in specs
         ],
     }
     digest = hashlib.sha256(

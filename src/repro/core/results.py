@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.experiments import ExperimentSpec
+from repro.core.faults import FaultSpec, FaultTarget, FaultType
 from repro.flightstack.commander import MissionOutcome
 
 #: Serialized ``outcome`` label for rows whose *harness* failed (the
@@ -67,6 +69,38 @@ class ExperimentResult:
         """Failsafe-activated runs; timeouts (vehicle lost without
         impact) are counted here for the failure-analysis split."""
         return self.outcome in (MissionOutcome.FAILSAFE, MissionOutcome.TIMEOUT)
+
+
+def fault_spec_to_dict(spec: FaultSpec) -> dict[str, Any]:
+    """Serialise a :class:`FaultSpec` losslessly (every field).
+
+    This pair is the canonical FaultSpec wire format: the campaign
+    fingerprint and any future persisted spec list go through it, so a
+    field added to :class:`FaultSpec` must be added here (enforced by
+    reprolint rule FM002).
+    """
+    return {
+        "fault_type": spec.fault_type.value,
+        "target": spec.target.value,
+        "start_time_s": spec.start_time_s,
+        "duration_s": spec.duration_s,
+        "seed": spec.seed,
+        "noise_fraction": spec.noise_fraction,
+        "noise_bias_fraction": spec.noise_bias_fraction,
+    }
+
+
+def fault_spec_from_dict(data: dict[str, Any]) -> FaultSpec:
+    """Inverse of :func:`fault_spec_to_dict`."""
+    return FaultSpec(
+        fault_type=FaultType(data["fault_type"]),
+        target=FaultTarget(data["target"]),
+        start_time_s=data["start_time_s"],
+        duration_s=data["duration_s"],
+        seed=data["seed"],
+        noise_fraction=data["noise_fraction"],
+        noise_bias_fraction=data["noise_bias_fraction"],
+    )
 
 
 def harness_error_result(

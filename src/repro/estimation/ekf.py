@@ -17,7 +17,7 @@ failsafe engine watches — mirroring PX4's EKF health flags.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -328,7 +328,9 @@ class Ekf:
     ) -> None:
         """One gated scalar Kalman update."""
         ph = self.covariance @ h
-        s = float(h @ ph) + meas_var
+        # Covariance is PSD and meas_var > 0, but a fault window can
+        # collapse both toward zero; the floor keeps the gain finite.
+        s = max(float(h @ ph) + meas_var, 1e-12)
         test_ratio = (innovation * innovation) / (gate * gate * s)
         accepted = test_ratio <= 1.0
         self.monitor.record(name, self.time_s, test_ratio, accepted)

@@ -144,6 +144,8 @@ class Commander:
             FlightPhase.MISSION: self._run_mission,
             FlightPhase.LANDING: self._run_landing,
             FlightPhase.FAILSAFE_LAND: self._run_failsafe_land,
+            FlightPhase.LANDED: self._run_terminal,
+            FlightPhase.CRASHED: self._run_terminal,
         }[self.phase]
         return handler(time_s, position_est_ned, on_ground)
 
@@ -204,6 +206,17 @@ class Commander:
             self.end_time_s = time_s
             return self._idle_output(position)
         return CommanderOutput(target, ff, self._yaw_hold, 2.0)
+
+    def _run_terminal(
+        self, time_s: float, position: np.ndarray, on_ground: bool
+    ) -> CommanderOutput:
+        """LANDED/CRASHED: hold position at idle thrust.
+
+        Normally unreachable (``update`` returns early once a verdict is
+        set), but the dispatch table stays total over FlightPhase so a
+        future phase reordering cannot KeyError mid-flight.
+        """
+        return self._idle_output(position)
 
     # ------------------------------------------------------------------
 

@@ -146,7 +146,7 @@ def quat_from_rotation_matrix(rot: np.ndarray) -> np.ndarray:
     rot = np.asarray(rot, dtype=float)
     trace = rot[0, 0] + rot[1, 1] + rot[2, 2]
     if trace > 0.0:
-        s = math.sqrt(trace + 1.0) * 2.0
+        s = max(math.sqrt(trace + 1.0) * 2.0, _EPS)
         return quat_normalize(
             np.array(
                 [
@@ -158,7 +158,7 @@ def quat_from_rotation_matrix(rot: np.ndarray) -> np.ndarray:
             )
         )
     if rot[0, 0] > rot[1, 1] and rot[0, 0] > rot[2, 2]:
-        s = math.sqrt(1.0 + rot[0, 0] - rot[1, 1] - rot[2, 2]) * 2.0
+        s = max(math.sqrt(1.0 + rot[0, 0] - rot[1, 1] - rot[2, 2]) * 2.0, _EPS)
         q = [
             (rot[2, 1] - rot[1, 2]) / s,
             0.25 * s,
@@ -166,7 +166,7 @@ def quat_from_rotation_matrix(rot: np.ndarray) -> np.ndarray:
             (rot[0, 2] + rot[2, 0]) / s,
         ]
     elif rot[1, 1] > rot[2, 2]:
-        s = math.sqrt(1.0 + rot[1, 1] - rot[0, 0] - rot[2, 2]) * 2.0
+        s = max(math.sqrt(1.0 + rot[1, 1] - rot[0, 0] - rot[2, 2]) * 2.0, _EPS)
         q = [
             (rot[0, 2] - rot[2, 0]) / s,
             (rot[0, 1] + rot[1, 0]) / s,
@@ -174,7 +174,7 @@ def quat_from_rotation_matrix(rot: np.ndarray) -> np.ndarray:
             (rot[1, 2] + rot[2, 1]) / s,
         ]
     else:
-        s = math.sqrt(1.0 + rot[2, 2] - rot[0, 0] - rot[1, 1]) * 2.0
+        s = max(math.sqrt(1.0 + rot[2, 2] - rot[0, 0] - rot[1, 1]) * 2.0, _EPS)
         q = [
             (rot[1, 0] - rot[0, 1]) / s,
             (rot[0, 2] + rot[2, 0]) / s,
@@ -226,7 +226,9 @@ def quat_slerp(q1: np.ndarray, q2: np.ndarray, t: float) -> np.ndarray:
     if dot > 1.0 - 1e-9:
         return quat_normalize(q1 + t * (q2 - q1))
     theta = math.acos(min(1.0, dot))
+    # dot <= 1 - 1e-9 here (the near-parallel branch returned above), so
+    # theta >= ~4.5e-5 rad and sin_theta is strictly positive.
     sin_theta = math.sin(theta)
-    a = math.sin((1.0 - t) * theta) / sin_theta
-    b = math.sin(t * theta) / sin_theta
+    a = math.sin((1.0 - t) * theta) / sin_theta  # reprolint: disable=NUM002
+    b = math.sin(t * theta) / sin_theta  # reprolint: disable=NUM002
     return quat_normalize(a * q1 + b * q2)

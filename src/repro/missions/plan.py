@@ -74,6 +74,11 @@ class MissionPlan:
         self, climb_speed_m_s: float = 2.0, descent_speed_m_s: float = 1.0
     ) -> float:
         """Rough gold-run duration estimate used for mission timeouts."""
+        if climb_speed_m_s <= 0.0 or descent_speed_m_s <= 0.0:
+            raise ValueError(
+                "climb_speed_m_s and descent_speed_m_s must be positive, got "
+                f"{climb_speed_m_s} and {descent_speed_m_s}"
+            )
         return (
             self.cruise_altitude_m / climb_speed_m_s
             + self.cruise_length_m / self.drone.cruise_speed_m_s

@@ -12,8 +12,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-import numpy as np
-
+from repro.core.atomicio import atomic_write_text
 from repro.mathutils import GeoPoint, GeodeticReference
 from repro.missions.plan import MissionPlan, Waypoint
 from repro.missions.spec import DroneSpec
@@ -100,7 +99,7 @@ def save_plans(
         },
         "plans": [plan_to_dict(plan, reference) for plan in plans],
     }
-    Path(path).write_text(json.dumps(payload, indent=1))
+    atomic_write_text(Path(path), json.dumps(payload, indent=1))
 
 
 def load_plans(path: str | Path) -> tuple[list[MissionPlan], GeoPoint]:

@@ -108,6 +108,8 @@ def _build_waypoints(
     spacing_m: float,
 ) -> list[Waypoint]:
     """Trace the legs, dropping intermediate waypoints every ``spacing_m``."""
+    if spacing_m <= 0.0:
+        raise ValueError(f"spacing_m must be positive, got {spacing_m}")
     x, y = start_xy
     heading = math.radians(heading_deg)
     points: list[tuple[float, float]] = [(x, y)]

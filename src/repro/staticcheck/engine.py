@@ -1,0 +1,431 @@
+"""reprolint — the walker/plugin framework.
+
+The analyzer is a thin, deterministic pipeline:
+
+1. :func:`collect_files` expands the CLI paths into ``.py`` files and
+   computes each file's *package-relative* path (``sim/dynamics.py``,
+   ``core/io.py`` …) so rules can reason about which layer of the
+   simulator a file belongs to.
+2. :func:`build_project_index` makes one harvesting pass over every
+   parsed module and records the cross-file facts rules need: enum
+   definitions (for exhaustiveness checks), dataclass field lists (for
+   serialization round-trip checks), names validated by raise-guards
+   anywhere in the tree (for division-guard checks), and the string
+   keys used by the spec serializers.
+3. :func:`run_reprolint` hands every file, wrapped in a
+   :class:`FileContext`, to every :class:`Rule` and gathers the
+   surviving :class:`Violation` records (per-line suppressions via
+   ``# reprolint: disable=RULE1,RULE2`` are honoured here, so rules
+   never need to think about them).
+
+Rules are stateless plugins: subclass :class:`Rule`, set ``rule_id`` /
+``summary`` / ``fixit``, implement ``check(ctx)``, and register the
+class in :data:`repro.staticcheck.ALL_RULES`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+#: Packages whose code runs inside the deterministic simulation loop.
+#: Wall-clock reads and non-injected randomness in these layers silently
+#: break PR 1's bit-identical checkpoint/resume guarantee.
+RESTRICTED_PACKAGES = frozenset({"sim", "sensors", "estimation", "control", "core"})
+
+#: Campaign-harness modules: the only places wall-clock time is
+#: legitimate (retry backoff, per-case timeouts, progress tickers).
+HARNESS_MODULES = frozenset({"core/campaign.py", "core/resilience.py"})
+
+#: The atomic-write helpers; the only modules allowed to open files for
+#: writing (protects the crash-safety contract of the journal/results).
+ATOMIC_IO_MODULES = frozenset({"core/io.py", "core/atomicio.py"})
+
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Z0-9_, ]+)")
+
+
+class ReprolintError(Exception):
+    """A file could not be analyzed (bad path, unparsable source)."""
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule finding, anchored to a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    fixit: str
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.rule_id} "
+            f"{self.message}\n    fix: {self.fixit}"
+        )
+
+
+@dataclass(frozen=True)
+class ProjectIndex:
+    """Cross-file facts harvested before any rule runs."""
+
+    #: enum class name -> ordered member names (e.g. FaultType -> 7).
+    enums: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: dataclass name -> ordered field names (e.g. FaultSpec).
+    dataclass_fields: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: names (params / attributes) that some raise-guard or assert
+    #: validates anywhere in the scanned tree, e.g. ``mass_kg`` from
+    #: ``if self.mass_kg <= 0.0: raise ValueError(...)``.
+    validated_names: frozenset[str] = frozenset()
+    #: serializer function name -> string constants + kwarg names used
+    #: inside it (harvested for the FaultSpec round-trip check).
+    serializer_keys: dict[str, frozenset[str]] = field(default_factory=dict)
+
+
+#: Function names treated as the canonical FaultSpec serializers.
+SPEC_SERIALIZER_NAMES = ("fault_spec_to_dict", "fault_spec_from_dict")
+
+
+class FileContext:
+    """Everything one rule invocation may look at for one file."""
+
+    def __init__(
+        self,
+        path: Path,
+        rel_path: str,
+        source: str,
+        tree: ast.Module,
+        project: ProjectIndex,
+    ) -> None:
+        self.path = path
+        self.rel_path = rel_path
+        self.source = source
+        self.tree = tree
+        self.project = project
+        self.imports = _harvest_imports(tree)
+        self._suppressions = _harvest_suppressions(source)
+
+    # -- path-based layer queries -------------------------------------
+
+    @property
+    def package(self) -> str:
+        """First package component of the relative path ('' at root)."""
+        parts = Path(self.rel_path).parts
+        return parts[0] if len(parts) > 1 else ""
+
+    @property
+    def in_restricted_package(self) -> bool:
+        return self.package in RESTRICTED_PACKAGES
+
+    @property
+    def is_harness_module(self) -> bool:
+        return self.rel_path in HARNESS_MODULES
+
+    @property
+    def is_atomic_io_module(self) -> bool:
+        return self.rel_path in ATOMIC_IO_MODULES
+
+    # -- name resolution ----------------------------------------------
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Dotted path of a Name/Attribute chain via the import table.
+
+        ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng`` under ``import numpy as np``;
+        chains rooted at local variables resolve to ``None``.
+        """
+        chain: list[str] = []
+        while isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.imports.get(node.id)
+        if root is None:
+            return None
+        chain.append(root)
+        return ".".join(reversed(chain))
+
+    # -- suppression ----------------------------------------------------
+
+    def suppressed(self, line: int, rule_id: str) -> bool:
+        return rule_id in self._suppressions.get(line, frozenset())
+
+
+class Rule:
+    """Base class for reprolint rules (stateless plugins)."""
+
+    rule_id: str = ""
+    summary: str = ""
+    fixit: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        message: str,
+        fixit: str | None = None,
+    ) -> Violation:
+        return Violation(
+            path=ctx.rel_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+            fixit=fixit if fixit is not None else self.fixit,
+        )
+
+
+# ---------------------------------------------------------------------------
+# file collection
+
+
+def collect_files(paths: Sequence[str | Path]) -> list[tuple[Path, str]]:
+    """Expand CLI paths to ``(file, package_relative_path)`` pairs."""
+    out: list[tuple[Path, str]] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        root = Path(raw)
+        if root.is_dir():
+            files = sorted(p for p in root.rglob("*.py") if p.is_file())
+            base = root
+        elif root.is_file():
+            files = [root]
+            base = root.parent
+        else:
+            raise ReprolintError(f"no such file or directory: {root}")
+        for f in files:
+            resolved = f.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            out.append((f, _package_rel(f, base)))
+    return out
+
+
+def _package_rel(file: Path, base: Path) -> str:
+    """Path of ``file`` relative to the ``repro`` package root.
+
+    Falls back to the scan-root-relative path when the file does not
+    live under a ``repro``/``src`` directory (e.g. test fixtures), so
+    fixture trees can emulate package layout with plain ``sim/``,
+    ``core/`` … subdirectories.
+    """
+    rel = file.relative_to(base) if file.is_relative_to(base) else file
+    parts = list(rel.parts)
+    for anchor in ("repro", "src"):
+        if anchor in parts[:-1]:
+            parts = parts[len(parts) - 1 - parts[::-1].index(anchor):]
+    return "/".join(parts)
+
+
+def _parse(path: Path) -> tuple[str, ast.Module]:
+    try:
+        source = path.read_text()
+        return source, ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError, ValueError) as exc:
+        raise ReprolintError(f"cannot analyze {path}: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# harvesting
+
+
+def _harvest_imports(tree: ast.Module) -> dict[str, str]:
+    """Local binding -> dotted module/object path, for :meth:`resolve`."""
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    imports[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".")[0]
+                    imports[head] = head
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue  # relative imports never reach stdlib/numpy
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                imports[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return imports
+
+
+def _harvest_suppressions(source: str) -> dict[int, frozenset[str]]:
+    suppressions: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            rules = frozenset(
+                token.strip() for token in match.group(1).split(",") if token.strip()
+            )
+            suppressions[lineno] = rules
+    return suppressions
+
+
+_ENUM_BASES = {
+    "Enum", "IntEnum", "StrEnum", "Flag", "IntFlag",
+    "enum.Enum", "enum.IntEnum", "enum.StrEnum", "enum.Flag", "enum.IntFlag",
+}
+
+
+def _is_enum_base(node: ast.expr) -> bool:
+    return ast.unparse(node) in _ENUM_BASES
+
+
+def _is_dataclass_decorator(node: ast.expr) -> bool:
+    if isinstance(node, ast.Call):
+        node = node.func
+    return ast.unparse(node) in ("dataclass", "dataclasses.dataclass")
+
+
+def build_project_index(
+    files: Iterable[tuple[ast.Module, str]]
+) -> ProjectIndex:
+    """One pass over all parsed modules, harvesting cross-file facts."""
+    enums: dict[str, tuple[str, ...]] = {}
+    dataclass_fields: dict[str, tuple[str, ...]] = {}
+    validated: set[str] = set()
+    serializer_keys: dict[str, frozenset[str]] = {}
+
+    for tree, _rel in files:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                if any(_is_enum_base(b) for b in node.bases):
+                    members = tuple(
+                        target.id
+                        for stmt in node.body
+                        if isinstance(stmt, ast.Assign)
+                        for target in stmt.targets
+                        if isinstance(target, ast.Name)
+                        and not target.id.startswith("_")
+                    )
+                    if members:
+                        enums[node.name] = members
+                if any(_is_dataclass_decorator(d) for d in node.decorator_list):
+                    names = tuple(
+                        stmt.target.id
+                        for stmt in node.body
+                        if isinstance(stmt, ast.AnnAssign)
+                        and isinstance(stmt.target, ast.Name)
+                        and not stmt.target.id.startswith("_")
+                    )
+                    if names:
+                        dataclass_fields[node.name] = names
+            elif isinstance(node, ast.If):
+                if any(isinstance(n, ast.Raise) for n in ast.walk(node)):
+                    validated.update(_condition_names(node.test))
+            elif isinstance(node, ast.Assert):
+                validated.update(_condition_names(node.test))
+            elif isinstance(node, ast.FunctionDef):
+                if node.name in SPEC_SERIALIZER_NAMES:
+                    serializer_keys[node.name] = _string_keys(node)
+
+    return ProjectIndex(
+        enums=enums,
+        dataclass_fields=dataclass_fields,
+        validated_names=frozenset(validated),
+        serializer_keys=serializer_keys,
+    )
+
+
+def _condition_names(test: ast.expr) -> set[str]:
+    """Plain names and terminal attribute names mentioned in a test."""
+    names: set[str] = set()
+    for node in ast.walk(test):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+    names.discard("self")
+    return names
+
+
+def _string_keys(fn: ast.FunctionDef) -> frozenset[str]:
+    """String constants and keyword-argument names used inside ``fn``."""
+    keys: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            keys.add(node.value)
+        elif isinstance(node, ast.keyword) and node.arg is not None:
+            keys.add(node.arg)
+    return frozenset(keys)
+
+
+# ---------------------------------------------------------------------------
+# scope walking helpers (shared by rules)
+
+
+def iter_scopes(tree: ast.Module) -> Iterator[tuple[ast.AST, list[ast.stmt]]]:
+    """Yield ``(scope_node, body)`` for the module and every function.
+
+    Class bodies are folded into their enclosing scope (methods are
+    their own scopes); nested functions each get their own entry.
+    """
+    yield tree, list(tree.body)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, list(node.body)
+
+
+def walk_scope(body: Iterable[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk statements without descending into nested function scopes."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue  # nested scope: yielded, but not descended into
+        stack.extend(ast.iter_child_nodes(node))
+
+
+# ---------------------------------------------------------------------------
+# runner
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Outcome of one analyzer run."""
+
+    violations: tuple[Violation, ...]
+    files_scanned: int
+    rule_ids: tuple[str, ...]
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+
+def run_reprolint(
+    paths: Sequence[str | Path], rules: Sequence[Rule] | None = None
+) -> RunReport:
+    """Run ``rules`` (default: the full registry) over ``paths``."""
+    if rules is None:
+        from repro.staticcheck import all_rules
+
+        rules = all_rules()
+
+    files = collect_files(paths)
+    parsed = [(path, rel, *_parse(path)) for path, rel in files]
+    index = build_project_index((tree, rel) for _p, rel, _s, tree in parsed)
+
+    violations: list[Violation] = []
+    for path, rel, source, tree in parsed:
+        ctx = FileContext(path, rel, source, tree, index)
+        for rule in rules:
+            for v in rule.check(ctx):
+                if not ctx.suppressed(v.line, v.rule_id):
+                    violations.append(v)
+    return RunReport(
+        violations=tuple(sorted(violations)),
+        files_scanned=len(parsed),
+        rule_ids=tuple(r.rule_id for r in rules),
+    )

@@ -1,0 +1,46 @@
+"""Rendering for reprolint runs (text and JSON)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.staticcheck.engine import RunReport
+
+
+def render_text(report: RunReport) -> str:
+    """Human-readable listing: one block per violation plus a summary."""
+    lines = [v.format() for v in report.violations]
+    affected = len({v.path for v in report.violations})
+    if report.violations:
+        lines.append(
+            f"reprolint: {len(report.violations)} violation(s) in "
+            f"{affected} file(s) ({report.files_scanned} scanned)"
+        )
+    else:
+        lines.append(
+            f"reprolint: clean ({report.files_scanned} file(s) scanned, "
+            f"{len(report.rule_ids)} rules)"
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: RunReport) -> str:
+    """Machine-readable report (stable key order for diffing in CI)."""
+    payload = {
+        "clean": report.clean,
+        "files_scanned": report.files_scanned,
+        "rules": list(report.rule_ids),
+        "violation_count": len(report.violations),
+        "violations": [
+            {
+                "rule_id": v.rule_id,
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "message": v.message,
+                "fixit": v.fixit,
+            }
+            for v in report.violations
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

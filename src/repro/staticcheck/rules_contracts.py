@@ -1,0 +1,78 @@
+"""Persistence-contract rules (IO001).
+
+PR 1's crash-safety guarantee (a kill can never corrupt results or
+checkpoints) holds only while every write goes through the atomic
+helpers in ``core/io.py`` — a raw ``open(path, "w")`` elsewhere can
+leave a torn file behind. This rule makes the contract structural.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.staticcheck.engine import FileContext, Rule, Violation
+
+_WRITE_MODE_CHARS = set("wax+")
+
+_WRITE_METHOD_ATTRS = frozenset({"write_text", "write_bytes"})
+
+
+class RawWriteRule(Rule):
+    """IO001: file writes only through the atomic helpers in core/io.py.
+
+    Flags write-capable ``open()``/``os.fdopen()`` calls and
+    ``Path.write_text``/``write_bytes`` anywhere outside ``core/io.py``.
+    A non-constant mode is flagged too (it *may* write); suppress with
+    a justification when a write is genuinely outside the
+    results/checkpoint contract.
+    """
+
+    rule_id = "IO001"
+    summary = "raw file writes outside the atomic helpers in core/io.py"
+    fixit = (
+        "route the write through the atomic helpers (core/atomicio.py's "
+        "atomic_write_text, or core/io.py's save_campaign / export_csv / "
+        "CampaignJournal) so a crash cannot tear it"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.is_atomic_io_module:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if self._is_write_open(ctx, node):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"write-capable '{ast.unparse(node.func)}(...)' bypasses "
+                    "the atomic-write helpers",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _WRITE_METHOD_ATTRS
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"'.{node.func.attr}()' is not atomic — a crash mid-call "
+                    "leaves a torn file",
+                )
+
+    @staticmethod
+    def _is_write_open(ctx: FileContext, node: ast.Call) -> bool:
+        if isinstance(node.func, ast.Name) and node.func.id == "open":
+            mode_arg: ast.expr | None = node.args[1] if len(node.args) > 1 else None
+        elif ctx.resolve(node.func) == "os.fdopen":
+            mode_arg = node.args[1] if len(node.args) > 1 else None
+        else:
+            return False
+        for kw in node.keywords:
+            if kw.arg == "mode":
+                mode_arg = kw.value
+        if mode_arg is None:
+            return False  # default mode "r"
+        if isinstance(mode_arg, ast.Constant) and isinstance(mode_arg.value, str):
+            return bool(_WRITE_MODE_CHARS & set(mode_arg.value))
+        return True  # dynamic mode: assume the worst

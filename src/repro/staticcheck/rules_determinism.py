@@ -1,0 +1,273 @@
+"""Determinism rules (DET001–DET004).
+
+Every campaign result must be a pure function of the campaign config
+and the case seed — that is what makes PR 1's checkpoint/resume
+bit-identical and the paper's 850-run matrix reproducible. These rules
+ban the three ways nondeterminism sneaks into a simulator: ambient
+random state, ambient clocks, and unordered iteration.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.staticcheck.engine import FileContext, Rule, Violation
+
+#: numpy.random attributes that are *constructors of seedable state*
+#: rather than draws from the hidden global generator.
+_NP_RANDOM_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "RandomState",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "MT19937",
+        "SFC64",
+    }
+)
+
+_GENERATOR_FACTORIES = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.RandomState",
+    }
+)
+
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+class GlobalRandomRule(Rule):
+    """DET001: no draws from the process-global RNGs.
+
+    ``random.*`` and the legacy ``np.random.*`` functions share hidden
+    module-level state, so any import-order or thread-schedule change
+    alters every subsequent draw in the process.
+    """
+
+    rule_id = "DET001"
+    summary = "no unseeded random/np.random module-level calls"
+    fixit = (
+        "draw from an injected np.random.Generator "
+        "(np.random.default_rng(seed)) instead of the global RNG"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved is None:
+                continue
+            parts = resolved.split(".")
+            if parts[0] == "random" and len(parts) == 2:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"call to stdlib global RNG '{resolved}' — module-level "
+                    "random state is shared across the whole process",
+                )
+            elif (
+                len(parts) == 3
+                and parts[:2] == ["numpy", "random"]
+                and parts[2] not in _NP_RANDOM_ALLOWED
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"call to legacy global RNG 'np.random.{parts[2]}' — "
+                    "draws from hidden module-level state",
+                )
+
+
+class WallClockRule(Rule):
+    """DET002: no wall-clock reads inside the simulation layers.
+
+    Simulated time is ``state.time_s``; reading the host clock inside
+    sim/sensors/estimation/control/core makes results depend on machine
+    load. Wall clock belongs only to the campaign harness (retry
+    backoff, per-case timeouts).
+    """
+
+    rule_id = "DET002"
+    summary = "no wall-clock reads in sim/sensors/estimation/control/core"
+    fixit = (
+        "use simulated time (state.time_s / the step dt); wall-clock "
+        "reads belong only in core/campaign.py and core/resilience.py"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_restricted_package or ctx.is_harness_module:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved in _WALL_CLOCK_CALLS:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"wall-clock read '{resolved}()' inside the simulation "
+                    "layer makes results depend on host timing",
+                )
+
+
+class SetIterationRule(Rule):
+    """DET003: no order-sensitive iteration over sets.
+
+    Set iteration order depends on insertion history and (for strings)
+    the per-process hash seed, so any set that reaches results, logs,
+    or schedules reorders between runs. Order-insensitive reductions
+    (``sum``/``min``/``max``/``len``/``any``/``all``/``sorted``) are
+    fine; materializing or enumerating a set is not.
+    """
+
+    rule_id = "DET003"
+    summary = "no iteration over unordered sets where order can matter"
+    fixit = "iterate over sorted(<set>) (or keep the data in a list/dict)"
+
+    _ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate", "iter", "next"})
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        set_named = self._set_valued_names(ctx.tree)
+
+        def is_set_expr(node: ast.expr) -> bool:
+            if isinstance(node, (ast.Set, ast.SetComp)):
+                return True
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("set", "frozenset")
+            ):
+                return True
+            return isinstance(node, ast.Name) and node.id in set_named
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.For) and is_set_expr(node.iter):
+                yield self.violation(
+                    ctx, node.iter, "for-loop iterates over an unordered set"
+                )
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                for gen in node.generators:
+                    if is_set_expr(gen.iter):
+                        yield self.violation(
+                            ctx, gen.iter, "comprehension iterates over an unordered set"
+                        )
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id in self._ORDER_SENSITIVE_CALLS
+                    and node.args
+                    and is_set_expr(node.args[0])
+                ):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"'{node.func.id}(...)' materializes a set in "
+                        "nondeterministic order",
+                    )
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "join"
+                    and node.args
+                    and is_set_expr(node.args[0])
+                ):
+                    yield self.violation(
+                        ctx, node, "str.join over a set concatenates in "
+                        "nondeterministic order",
+                    )
+
+    @staticmethod
+    def _set_valued_names(tree: ast.Module) -> frozenset[str]:
+        """Names whose every assignment in this file is a set expression."""
+        assigned: dict[str, bool] = {}
+        for node in ast.walk(tree):
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            if value is None:
+                continue
+            is_set = isinstance(value, (ast.Set, ast.SetComp)) or (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in ("set", "frozenset")
+            )
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    previous = assigned.get(target.id, True)
+                    assigned[target.id] = previous and is_set
+        return frozenset(name for name, only_sets in assigned.items() if only_sets)
+
+
+class GeneratorInjectionRule(Rule):
+    """DET004: every np.random.Generator must be parameter-injected.
+
+    A generator constructed without a seed is fresh OS entropy; one
+    constructed from a literal inside a simulation layer is hidden
+    coupling that the campaign matrix cannot vary. Both break the
+    "results are a function of (config, seed)" contract, so the seed
+    must arrive through a parameter or attribute.
+    """
+
+    rule_id = "DET004"
+    summary = "np.random.Generator construction must take an injected seed"
+    fixit = (
+        "accept a 'seed: int' (or rng) parameter and construct with "
+        "np.random.default_rng(seed)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved not in _GENERATOR_FACTORIES:
+                continue
+            if not node.args and not node.keywords:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"'{resolved}()' without a seed draws fresh OS entropy "
+                    "on every construction",
+                )
+            elif ctx.in_restricted_package and not ctx.is_harness_module:
+                seed_expr = node.args[0] if node.args else node.keywords[0].value
+                if self._is_pure_literal(seed_expr):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"'{resolved}' seeded with a hard-coded literal in a "
+                        "simulation layer — the campaign matrix cannot vary it",
+                    )
+
+    @staticmethod
+    def _is_pure_literal(node: ast.expr) -> bool:
+        return all(
+            isinstance(
+                sub, (ast.Constant, ast.UnaryOp, ast.BinOp, ast.unaryop, ast.operator)
+            )
+            for sub in ast.walk(node)
+        )

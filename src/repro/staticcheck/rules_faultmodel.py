@@ -1,0 +1,244 @@
+"""Fault-model rules (FM001–FM002).
+
+The paper's 7-fault × 3-target model is dispatched in several places
+(behaviour application, labels, tables). A fault type added — or a
+branch deleted — without updating every dispatch silently reshapes the
+campaign, so exhaustiveness is checked against the enum definitions
+rather than trusted to review. The same goes for persistence: a
+FaultSpec field that does not survive serialization round-trip makes a
+resumed campaign subtly different from an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.staticcheck.engine import (
+    SPEC_SERIALIZER_NAMES,
+    FileContext,
+    Rule,
+    Violation,
+)
+
+
+def _member_ref(ctx: FileContext, node: ast.expr) -> tuple[str, str] | None:
+    """``(enum_name, member)`` if ``node`` references a known enum member."""
+    if not isinstance(node, ast.Attribute):
+        return None
+    parts = ast.unparse(node).split(".")
+    if len(parts) < 2:
+        return None
+    enum_name, member = parts[-2], parts[-1]
+    members = ctx.project.enums.get(enum_name)
+    if members and member in members:
+        return enum_name, member
+    return None
+
+
+class ExhaustiveDispatchRule(Rule):
+    """FM001: enum dispatches must handle every member.
+
+    Any if/elif chain, ``match`` statement, or dict literal that
+    dispatches over two or more members of a known enum must mention
+    *all* of its members — a trailing ``else``/``raise`` fallback does
+    not count, because a silently-absorbed member is exactly the bug
+    this rule exists to catch.
+    """
+
+    rule_id = "FM001"
+    summary = "enum dispatch must be exhaustive over the enum's members"
+    fixit = (
+        "add an explicit branch (or dict/match entry) for each missing "
+        "member — the fallback must stay unreachable"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.project.enums:
+            return
+        yield from self._check_if_chains(ctx)
+        yield from self._check_matches(ctx)
+        yield from self._check_dicts(ctx)
+
+    # -- if / elif chains ---------------------------------------------
+
+    def _check_if_chains(self, ctx: FileContext) -> Iterator[Violation]:
+        for body in self._statement_lists(ctx.tree):
+            # One "run" per (enum, dispatch subject): consecutive sibling
+            # `if` statements on the same subject (early-return dispatch
+            # style) merge; any other statement flushes pending runs.
+            runs: dict[tuple[str, str], tuple[ast.If, set[str]]] = {}
+            for stmt in [*body, None]:
+                handled: dict[tuple[str, str], set[str]] = {}
+                if isinstance(stmt, ast.If):
+                    for test in self._chain_tests(stmt):
+                        for enum_name, member, subject in self._equality_members(
+                            ctx, test
+                        ):
+                            handled.setdefault((enum_name, subject), set()).add(member)
+                for key in list(runs):
+                    if key not in handled:
+                        anchor, members = runs.pop(key)
+                        yield from self._verify(ctx, key[0], anchor, members)
+                for key, members in handled.items():
+                    if key in runs:
+                        runs[key][1].update(members)
+                    elif isinstance(stmt, ast.If):
+                        runs[key] = (stmt, set(members))
+
+    def _verify(
+        self, ctx: FileContext, enum_name: str, anchor: ast.AST, handled: set[str]
+    ) -> Iterator[Violation]:
+        if len(handled) < 2:
+            return
+        missing = [m for m in ctx.project.enums[enum_name] if m not in handled]
+        if missing:
+            yield self.violation(
+                ctx,
+                anchor,
+                f"dispatch over {enum_name} handles {len(handled)} of "
+                f"{len(ctx.project.enums[enum_name])} members; missing: "
+                + ", ".join(f"{enum_name}.{m}" for m in missing),
+            )
+
+    @staticmethod
+    def _statement_lists(tree: ast.Module) -> Iterator[list[ast.stmt]]:
+        for node in ast.walk(tree):
+            for field_name in ("body", "orelse", "finalbody"):
+                body = getattr(node, field_name, None)
+                if not (isinstance(body, list) and body and isinstance(body[0], ast.stmt)):
+                    continue
+                if (
+                    field_name == "orelse"
+                    and isinstance(node, ast.If)
+                    and len(body) == 1
+                    and isinstance(body[0], ast.If)
+                ):
+                    continue  # elif continuation: handled via _chain_tests
+                yield body
+
+    @staticmethod
+    def _chain_tests(node: ast.If) -> Iterator[ast.expr]:
+        while True:
+            yield node.test
+            if len(node.orelse) == 1 and isinstance(node.orelse[0], ast.If):
+                node = node.orelse[0]
+            else:
+                return
+
+    def _equality_members(
+        self, ctx: FileContext, test: ast.expr
+    ) -> Iterator[tuple[str, str, str]]:
+        """``(enum, member, subject)`` triples this condition dispatches on.
+
+        Only ``==``/``is`` count as dispatch; membership tests like
+        ``target in (A, B)`` are deliberate subsetting, not dispatch.
+        Boolean ``or`` of equality tests is dispatch of both members.
+        """
+        if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.Or):
+            for value in test.values:
+                yield from self._equality_members(ctx, value)
+            return
+        if not isinstance(test, ast.Compare) or len(test.ops) != 1:
+            return
+        if not isinstance(test.ops[0], (ast.Eq, ast.Is)):
+            return
+        left, right = test.left, test.comparators[0]
+        for operand, other in ((left, right), (right, left)):
+            ref = _member_ref(ctx, operand)
+            if ref is not None:
+                yield ref[0], ref[1], ast.unparse(other)
+
+    # -- match statements ---------------------------------------------
+
+    def _check_matches(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Match):
+                continue
+            handled: dict[str, set[str]] = {}
+            for case in node.cases:
+                for pattern in self._flat_patterns(case.pattern):
+                    if isinstance(pattern, ast.MatchValue):
+                        ref = _member_ref(ctx, pattern.value)
+                        if ref is not None:
+                            handled.setdefault(ref[0], set()).add(ref[1])
+            for enum_name, members in handled.items():
+                yield from self._verify(ctx, enum_name, node, members)
+
+    @staticmethod
+    def _flat_patterns(pattern: ast.pattern) -> Iterator[ast.pattern]:
+        if isinstance(pattern, ast.MatchOr):
+            yield from pattern.patterns
+        else:
+            yield pattern
+
+    # -- dict-literal dispatch tables ----------------------------------
+
+    def _check_dicts(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Dict):
+                continue
+            handled: dict[str, set[str]] = {}
+            for key in node.keys:
+                if key is None:
+                    continue
+                ref = _member_ref(ctx, key)
+                if ref is not None:
+                    handled.setdefault(ref[0], set()).add(ref[1])
+            for enum_name, members in handled.items():
+                yield from self._verify(ctx, enum_name, node, members)
+
+
+class SpecRoundTripRule(Rule):
+    """FM002: every FaultSpec field must survive serialization.
+
+    The canonical serializers (``fault_spec_to_dict`` /
+    ``fault_spec_from_dict`` in ``core/results.py``) must reference
+    every dataclass field of FaultSpec by name. A field missing from
+    either direction means checkpoints, fingerprints, or saved
+    campaigns silently drop part of the fault model (e.g. a custom
+    ``noise_fraction`` resuming as the default).
+    """
+
+    rule_id = "FM002"
+    summary = "FaultSpec fields must round-trip through results.py serializers"
+    fixit = (
+        "add the field to fault_spec_to_dict AND fault_spec_from_dict in "
+        "core/results.py"
+    )
+
+    SPEC_CLASS = "FaultSpec"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        fields = ctx.project.dataclass_fields.get(self.SPEC_CLASS)
+        if fields is None:
+            return
+        # Anchor the finding to the file that defines the dataclass so
+        # the check runs exactly once per tree.
+        anchor = self._spec_classdef(ctx)
+        if anchor is None:
+            return
+        for fn_name in SPEC_SERIALIZER_NAMES:
+            keys = ctx.project.serializer_keys.get(fn_name)
+            if keys is None:
+                yield self.violation(
+                    ctx,
+                    anchor,
+                    f"no '{fn_name}' serializer found in the scanned tree — "
+                    f"{self.SPEC_CLASS} cannot round-trip",
+                )
+                continue
+            missing = [f for f in fields if f not in keys]
+            if missing:
+                yield self.violation(
+                    ctx,
+                    anchor,
+                    f"'{fn_name}' drops {self.SPEC_CLASS} field(s): "
+                    + ", ".join(missing),
+                )
+
+    def _spec_classdef(self, ctx: FileContext) -> ast.ClassDef | None:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef) and node.name == self.SPEC_CLASS:
+                return node
+        return None

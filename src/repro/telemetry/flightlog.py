@@ -13,6 +13,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.atomicio import atomic_write_text
 from repro.telemetry.recorder import FlightRecorder, FlightSample
 
 _SCHEMA_VERSION = 1
@@ -50,7 +51,7 @@ def save_flight_log(
                 }
             )
         )
-    Path(path).write_text("\n".join(lines) + "\n")
+    atomic_write_text(Path(path), "\n".join(lines) + "\n")
 
 
 def load_flight_log(path: str | Path) -> tuple[list[FlightSample], dict]:

@@ -142,3 +142,73 @@ def test_catalog_known_mappings():
     assert by_name["False data injection"].represented_by == (FaultType.FIXED,)
     assert by_name["Constant output"].represented_by == (FaultType.FREEZE,)
     assert FaultType.MIN in by_name["OS system attack"].represented_by
+
+
+# ---------------------------------------------------- dispatch exhaustiveness
+
+
+@pytest.mark.parametrize("kind", list(FaultType))
+def test_every_fault_type_corrupts_the_sample(kind):
+    """Each enum member must reach a real branch in FaultBehavior.apply.
+
+    The corrupted sample differs from the clean input (so no member is
+    silently absorbed by a pass-through path) and is a fresh, finite
+    3-vector. The clean value sits strictly inside the sensor range and
+    away from every saturation/zero value so every behaviour must move
+    it.
+    """
+    current = np.array([4.0, 5.0, -6.0])  # differs from the latched sample
+    out = behavior(kind, seed=123).apply(current)
+    assert out.shape == (3,)
+    assert np.all(np.isfinite(out))
+    assert out is not current
+    assert not np.allclose(out, current), f"{kind} returned the sample unchanged"
+    assert np.all(np.abs(out) <= RANGE + 1e-12)
+
+
+def test_non_member_fault_type_hits_the_fallback():
+    b = behavior(FaultType.ZEROS)
+    b.fault_type = "not-a-fault-type"
+    with pytest.raises(ValueError, match="unhandled fault type"):
+        b.apply(np.ones(3))
+
+
+# ------------------------------------------------------- spec serialization
+
+
+def test_fault_spec_round_trips_every_field():
+    from repro.core.results import fault_spec_from_dict, fault_spec_to_dict
+
+    spec = FaultSpec(
+        fault_type=FaultType.NOISE,
+        target=FaultTarget.IMU,
+        start_time_s=12.5,
+        duration_s=4.0,
+        seed=99,
+        noise_fraction=0.11,
+        noise_bias_fraction=0.07,
+    )
+    assert fault_spec_from_dict(fault_spec_to_dict(spec)) == spec
+
+
+def test_fault_spec_serialization_changes_fingerprint():
+    """A seed/noise change must alter the campaign fingerprint, or a
+    resumed checkpoint could silently mix differently-seeded results."""
+    import dataclasses
+
+    from repro.core.campaign import CampaignConfig
+    from repro.core.experiments import build_experiment_matrix
+    from repro.core.resilience import campaign_fingerprint
+
+    config = CampaignConfig(scale=0.05, mission_ids=(1,), durations_s=(5.0,))
+    specs = build_experiment_matrix(
+        mission_ids=list(config.mission_ids), durations_s=config.durations_s
+    )
+    base = campaign_fingerprint(config, specs)
+    reseeded = [
+        s
+        if s.fault is None
+        else dataclasses.replace(s, fault=s.fault.with_seed(s.fault.seed + 1))
+        for s in specs
+    ]
+    assert campaign_fingerprint(config, reseeded) != base

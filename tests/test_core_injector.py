@@ -1,7 +1,6 @@
 """Unit tests for the sensor fault injector."""
 
 import numpy as np
-import pytest
 
 from repro.core import FaultSpec, FaultTarget, FaultType, SensorFaultInjector
 from repro.sensors.imu import ImuSample

@@ -1,6 +1,5 @@
 """Unit tests for the error-state EKF."""
 
-import math
 
 import numpy as np
 import pytest

@@ -6,7 +6,6 @@ import math
 import numpy as np
 import pytest
 
-from repro.mathutils import GeoPoint
 from repro.missions import valencia_missions
 from repro.missions.plan_io import load_plans, plan_from_dict, plan_to_dict, save_plans
 from repro.missions.valencia import VALENCIA_ORIGIN

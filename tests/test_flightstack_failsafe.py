@@ -3,7 +3,6 @@
 import math
 
 import numpy as np
-import pytest
 
 from repro.estimation.health import EstimatorHealth
 from repro.flightstack import FailsafeEngine, FailsafeState, FailsafeTrigger, FlightParams

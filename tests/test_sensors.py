@@ -11,7 +11,6 @@ from repro.sensors import (
     GpsModel,
     GpsParams,
     Imu,
-    ImuParams,
     Magnetometer,
     TriadSensorParams,
 )

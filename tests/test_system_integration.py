@@ -6,7 +6,6 @@ cruise, turns, landing, fault windows, failsafe, crash handling) is the
 same as at paper scale.
 """
 
-import numpy as np
 import pytest
 
 from repro import (

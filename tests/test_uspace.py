@@ -1,6 +1,5 @@
 """Unit tests for the bubble formulas, violation monitor, and conflicts."""
 
-import math
 
 import numpy as np
 import pytest
