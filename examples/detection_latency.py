@@ -37,6 +37,11 @@ def main():
         "\nmeasured; 'loss' is ground impact. Violent faults often crash"
         "\nbefore isolation completes - the paper's crash-dominated short"
         "\ninjections. A '-' means the event never happened in that run."
+        "\n'trigger' is the failure-detection condition that debounced"
+        "\nfirst (gyro_rate / attitude / ekf_health); 'isolation' reports"
+        "\nthe redundant-sensor stage: on this single-IMU vehicle it can"
+        "\nonly succeed when the fault window ends on its own - see"
+        "\nexamples/redundancy_study.py for the IMU-bank variant."
     )
 
 

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Compare baseline crashes against the redundant-IMU-bank mitigation.
+
+The paper's failure analysis (Table IV) shows most faulty missions end
+in a crash or failsafe because the simulated vehicle carries a single
+IMU: the PX4-style failsafe enters its redundant-sensor isolation stage
+but has nothing to switch to. This study re-runs the campaign twice on
+the same seeds:
+
+* **baseline** — single IMU, the paper's setup;
+* **mitigated** — an N-member IMU bank with median voting, primary
+  switchover during the isolation stage, and a degraded gyro-only
+  fallback when no healthy member remains.
+
+Faults are injected with ``FaultScope.PRIMARY_ONLY`` so only the active
+sensor is corrupted — the scenario redundancy is designed for. The
+output is a resilience-comparison table (completion/crash rates side by
+side per fault type) plus the list of fault types the bank rescued.
+
+Run: ``python examples/redundancy_study.py [--missions 2,5] [--scale 0.1]
+      [--durations 10] [--redundancy 3] [--workers 1] [--seed 0]``
+"""
+
+import argparse
+import dataclasses
+import time
+
+from repro import (
+    CampaignConfig,
+    FaultScope,
+    redundancy_rescues,
+    render_rescues,
+    render_resilience_table,
+    resilience_comparison,
+    run_campaign,
+)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--missions", type=str, default="2,5")
+    parser.add_argument("--durations", type=str, default="10")
+    parser.add_argument("--injection", type=float, default=None,
+                        help="fault start time (default: scaled paper mark)")
+    parser.add_argument("--redundancy", type=int, default=3,
+                        help="IMU bank size for the mitigated run")
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    baseline_config = CampaignConfig(
+        scale=args.scale,
+        injection_time_s=args.injection,
+        mission_ids=tuple(int(m) for m in args.missions.split(",")),
+        durations_s=tuple(float(d) for d in args.durations.split(",")),
+        workers=args.workers,
+        base_seed=args.seed,
+        include_gold=False,
+        fault_scope=FaultScope.PRIMARY_ONLY,
+        mitigation=False,
+    )
+    mitigated_config = dataclasses.replace(
+        baseline_config, mitigation=True, imu_redundancy=args.redundancy
+    )
+
+    cases = len(baseline_config.mission_ids) * 21 * len(baseline_config.durations_s)
+    print(
+        f"Running {cases} cases twice (baseline, then {args.redundancy}-IMU "
+        f"bank; scale={args.scale}, injection at "
+        f"t={baseline_config.effective_injection_time_s:.0f}s) ..."
+    )
+    start = time.time()
+    baseline = run_campaign(baseline_config, progress=True)
+    mitigated = run_campaign(mitigated_config, progress=True)
+    print(f"done in {time.time() - start:.0f} s\n")
+
+    rows = resilience_comparison(baseline, mitigated)
+    print(render_resilience_table(
+        rows,
+        f"Resilience comparison: single IMU vs {args.redundancy}-member bank "
+        f"(PRIMARY_ONLY faults)",
+    ))
+    print()
+    print(render_rescues(redundancy_rescues(baseline, mitigated)))
+    print(
+        "\nNotes: both campaigns share seeds, missions, and fault cases;"
+        "\nonly the IMU bank differs. 'switch' counts primary switchovers"
+        "\nacross the mitigated runs and 'isol ok' the isolation episodes"
+        "\nthat ended in recovery instead of failsafe engagement. Violent"
+        "\ngyro faults can still tumble the vehicle during the detection"
+        "\ndebounce faster than any switchover can save it - the paper's"
+        "\nargument for quicker detection, quantified."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -23,12 +23,16 @@ from repro.core import (
     FaultSpec,
     FaultType,
     FaultTarget,
+    FaultScope,
     FAULT_MODEL_CATALOG,
     SensorFaultInjector,
     build_experiment_matrix,
     ExperimentSpec,
     ExperimentResult,
     CampaignResult,
+    ResilienceRow,
+    resilience_comparison,
+    render_resilience_table,
     table2_by_duration,
     table3_by_fault,
     table4_failure_analysis,
@@ -46,10 +50,13 @@ from repro.core.resilience import RetryPolicy, CaseTimeoutError, NO_RETRY
 from repro.core.analysis import (
     check_paper_shapes,
     harness_error_report,
+    redundancy_rescues,
+    render_rescues,
     render_shape_checks,
     severity_ranking,
 )
 from repro.flightstack import MissionOutcome, FlightParams
+from repro.redundancy import ImuBank, RedundancyConfig, Voter, VoterParams
 
 __version__ = "1.0.0"
 
@@ -64,8 +71,13 @@ __all__ = [
     "FaultSpec",
     "FaultType",
     "FaultTarget",
+    "FaultScope",
     "FAULT_MODEL_CATALOG",
     "SensorFaultInjector",
+    "ImuBank",
+    "RedundancyConfig",
+    "Voter",
+    "VoterParams",
     "CampaignConfig",
     "run_campaign",
     "run_experiment",
@@ -73,6 +85,9 @@ __all__ = [
     "ExperimentSpec",
     "ExperimentResult",
     "CampaignResult",
+    "ResilienceRow",
+    "resilience_comparison",
+    "render_resilience_table",
     "table2_by_duration",
     "table3_by_fault",
     "table4_failure_analysis",
@@ -88,6 +103,8 @@ __all__ = [
     "NO_RETRY",
     "harness_error_report",
     "check_paper_shapes",
+    "redundancy_rescues",
+    "render_rescues",
     "render_shape_checks",
     "severity_ranking",
     "MissionOutcome",

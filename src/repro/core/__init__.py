@@ -21,6 +21,7 @@ top-level :mod:`repro` package, which re-exports everything).
 from repro.core.faults import (
     FaultType,
     FaultTarget,
+    FaultScope,
     FaultSpec,
     FAULT_MODEL_CATALOG,
     FaultModelEntry,
@@ -29,6 +30,9 @@ from repro.core.injector import SensorFaultInjector
 from repro.core.experiments import ExperimentSpec, build_experiment_matrix
 from repro.core.results import ExperimentResult, CampaignResult
 from repro.core.tables import (
+    ResilienceRow,
+    resilience_comparison,
+    render_resilience_table,
     table2_by_duration,
     table3_by_fault,
     table4_failure_analysis,
@@ -59,6 +63,7 @@ from repro.core.paper_reference import (
 __all__ = [
     "FaultType",
     "FaultTarget",
+    "FaultScope",
     "FaultSpec",
     "FAULT_MODEL_CATALOG",
     "FaultModelEntry",
@@ -67,6 +72,9 @@ __all__ = [
     "build_experiment_matrix",
     "ExperimentResult",
     "CampaignResult",
+    "ResilienceRow",
+    "resilience_comparison",
+    "render_resilience_table",
     "table2_by_duration",
     "table3_by_fault",
     "table4_failure_analysis",

@@ -240,6 +240,75 @@ def check_paper_shapes(campaign: CampaignResult) -> list[ShapeCheck]:
     return checks
 
 
+@dataclass(frozen=True)
+class RescuedFault:
+    """One fault group the redundant IMU bank demonstrably rescued."""
+
+    fault_label: str
+    baseline_completed_pct: float
+    mitigated_completed_pct: float
+    baseline_crashed_pct: float
+    mitigated_crashed_pct: float
+    switchovers: int
+
+
+def redundancy_rescues(
+    baseline: CampaignResult, mitigated: CampaignResult
+) -> list[RescuedFault]:
+    """Fault labels where the IMU bank improved the completion share.
+
+    Both campaigns must cover the same faulty cases (same missions,
+    durations, seeds, fault scope); only labels present in both are
+    compared. Sorted by completion gain, largest first.
+    """
+    rescued: list[RescuedFault] = []
+    labels = sorted(
+        {r.fault_label for r in baseline.faulty}
+        & {r.fault_label for r in mitigated.faulty}
+    )
+
+    def pct(group: list, pred: str) -> float:
+        return 100.0 * sum(1 for r in group if getattr(r, pred)) / len(group)
+
+    for label in labels:
+        base = baseline.by_fault_label(label)
+        mit = mitigated.by_fault_label(label)
+        base_done, mit_done = pct(base, "completed"), pct(mit, "completed")
+        if mit_done > base_done:
+            rescued.append(
+                RescuedFault(
+                    fault_label=label,
+                    baseline_completed_pct=base_done,
+                    mitigated_completed_pct=mit_done,
+                    baseline_crashed_pct=pct(base, "crashed"),
+                    mitigated_crashed_pct=pct(mit, "crashed"),
+                    switchovers=sum(r.imu_switchovers for r in mit),
+                )
+            )
+    rescued.sort(
+        key=lambda r: r.baseline_completed_pct - r.mitigated_completed_pct
+    )
+    return rescued
+
+
+def render_rescues(rescues: list[RescuedFault]) -> str:
+    """Human-readable report of what redundancy bought."""
+    if not rescues:
+        return (
+            "Redundancy rescues: none — no fault group completed more "
+            "missions with the IMU bank than without"
+        )
+    lines = [f"Redundancy rescues: {len(rescues)} fault group(s) improved"]
+    for r in rescues:
+        lines.append(
+            f"  {r.fault_label}: completion "
+            f"{r.baseline_completed_pct:.1f}% -> {r.mitigated_completed_pct:.1f}%, "
+            f"crashes {r.baseline_crashed_pct:.1f}% -> {r.mitigated_crashed_pct:.1f}% "
+            f"({r.switchovers} switchover(s))"
+        )
+    return "\n".join(lines)
+
+
 def harness_error_report(campaign: CampaignResult) -> str:
     """Human-readable report of cases the *harness* failed to complete.
 

@@ -36,6 +36,7 @@ from repro.core.experiments import (
     ExperimentSpec,
     build_experiment_matrix,
 )
+from repro.core.faults import FaultScope
 from repro.core.io import CampaignJournal
 from repro.core.resilience import (
     NO_RETRY,
@@ -46,6 +47,7 @@ from repro.core.resilience import (
 )
 from repro.core.results import CampaignResult, ExperimentResult, harness_error_result
 from repro.missions.valencia import valencia_missions
+from repro.redundancy import RedundancyConfig
 from repro.system import MissionResult, SystemConfig, UavSystem
 
 Runner = Callable[["ExperimentSpec", "CampaignConfig"], ExperimentResult]
@@ -65,6 +67,13 @@ class CampaignConfig:
         base_seed: root seed; campaigns with equal configs are
             bit-identical.
         workers: process count for parallel execution (1 = serial).
+        fault_scope: which bank members the injected faults corrupt.
+            The default ``ALL`` is the paper's model (every redundant
+            sensor sees the fault) and keeps results bit-identical to
+            the pre-redundancy code.
+        mitigation: fly every case with the redundant IMU bank enabled
+            (voting + switchover + degraded fallback).
+        imu_redundancy: bank size when ``mitigation`` is on.
     """
 
     scale: float = 1.0
@@ -74,12 +83,19 @@ class CampaignConfig:
     base_seed: int = 0
     include_gold: bool = True
     workers: int = 1
+    fault_scope: FaultScope = FaultScope.ALL
+    mitigation: bool = False
+    imu_redundancy: int = 3
 
     def __post_init__(self) -> None:
         if self.scale <= 0.0:
             raise ValueError("scale must be positive")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.imu_redundancy < 1:
+            raise ValueError("imu_redundancy must be >= 1")
+        if self.mitigation and self.imu_redundancy < 2:
+            raise ValueError("mitigation requires imu_redundancy >= 2")
         if not self.durations_s:
             raise ValueError("durations_s must not be empty")
         for duration in self.durations_s:
@@ -115,11 +131,16 @@ def run_experiment(spec: ExperimentSpec, config: CampaignConfig) -> ExperimentRe
     plan = plans[spec.mission_id]
     system = UavSystem(
         plan,
-        config=SystemConfig(seed=config.base_seed),
+        config=SystemConfig(
+            seed=config.base_seed,
+            redundancy=RedundancyConfig(
+                enabled=config.mitigation, num_members=config.imu_redundancy
+            ),
+        ),
         fault=spec.fault,
     )
     mission_result = system.run()
-    return _to_result(spec, mission_result)
+    return _to_result(spec, mission_result, mitigated=config.mitigation)
 
 
 @dataclass
@@ -204,6 +225,7 @@ def run_campaign(
             injection_time_s=config.effective_injection_time_s,
             base_seed=config.base_seed,
             include_gold=config.include_gold,
+            scope=config.fault_scope,
         )
     policy = retry_policy or NO_RETRY
     runner = runner or run_experiment
@@ -476,7 +498,9 @@ def quick_config(workers: int = 1, base_seed: int = 0) -> CampaignConfig:
     return CampaignConfig(scale=0.2, workers=workers, base_seed=base_seed)
 
 
-def _to_result(spec: ExperimentSpec, mission: MissionResult) -> ExperimentResult:
+def _to_result(
+    spec: ExperimentSpec, mission: MissionResult, mitigated: bool = False
+) -> ExperimentResult:
     return ExperimentResult(
         experiment_id=spec.experiment_id,
         mission_id=spec.mission_id,
@@ -490,4 +514,8 @@ def _to_result(spec: ExperimentSpec, mission: MissionResult) -> ExperimentResult
         inner_violations=mission.inner_violations,
         outer_violations=mission.outer_violations,
         max_deviation_m=mission.max_deviation_m,
+        fault_scope=spec.fault.scope.value if spec.fault else None,
+        mitigated=mitigated,
+        imu_switchovers=mission.imu_switchovers,
+        isolation_succeeded=mission.isolation_succeeded,
     )

@@ -32,6 +32,13 @@ class DetectionRecord:
     detection_latency_s: float | None
     failsafe_latency_s: float | None
     loss_latency_s: float | None
+    #: Which failure-detection condition debounced first ("none" when
+    #: detection never fired).
+    trigger: str = "none"
+    #: What the redundant-sensor isolation stage did.
+    isolation_outcome: str = "not_attempted"
+    #: Verdict of the last isolation episode (None: never resolved).
+    isolation_succeeded: bool | None = None
 
     @property
     def detected(self) -> bool:
@@ -49,6 +56,7 @@ def measure_detection(
     system.commander.arm_and_takeoff(system.physics.time_s)
 
     detection_time: float | None = None
+    first_trigger: str = "none"
     hard_cap = plan.estimated_duration_s() * 2.5 + 60.0
     while not system.commander.terminal and system.physics.time_s < hard_cap:
         system.step()
@@ -57,6 +65,7 @@ def measure_detection(
             and system.failsafe.state != FailsafeState.NOMINAL
         ):
             detection_time = system.physics.time_s
+            first_trigger = system.failsafe.trigger.value
 
     outcome = system.commander.outcome.value if system.commander.outcome else "running"
     start = fault.start_time_s
@@ -73,6 +82,9 @@ def measure_detection(
         detection_latency_s=latency(detection_time),
         failsafe_latency_s=latency(system.failsafe.engaged_time_s),
         loss_latency_s=latency(crash_time),
+        trigger=first_trigger,
+        isolation_outcome=system.failsafe.isolation_outcome.value,
+        isolation_succeeded=system.failsafe.isolation_succeeded,
     )
 
 
@@ -81,7 +93,8 @@ def render_detection_report(records: list[DetectionRecord], title: str) -> str:
     lines = [title]
     header = (
         f"{'fault':<18} {'outcome':<10} {'detect (s)':>11} "
-        f"{'failsafe (s)':>13} {'loss (s)':>9}"
+        f"{'failsafe (s)':>13} {'loss (s)':>9} {'trigger':<10} "
+        f"{'isolation':<13}"
     )
     lines.append(header)
     lines.append("-" * len(header))
@@ -89,5 +102,12 @@ def render_detection_report(records: list[DetectionRecord], title: str) -> str:
         det = f"{r.detection_latency_s:.2f}" if r.detection_latency_s is not None else "-"
         fs = f"{r.failsafe_latency_s:.2f}" if r.failsafe_latency_s is not None else "-"
         loss = f"{r.loss_latency_s:.2f}" if r.loss_latency_s is not None else "-"
-        lines.append(f"{r.fault_label:<18} {r.outcome:<10} {det:>11} {fs:>13} {loss:>9}")
+        if r.isolation_succeeded is None:
+            isolation = r.isolation_outcome
+        else:
+            isolation = "succeeded" if r.isolation_succeeded else "failed"
+        lines.append(
+            f"{r.fault_label:<18} {r.outcome:<10} {det:>11} {fs:>13} "
+            f"{loss:>9} {r.trigger:<10} {isolation:<13}"
+        )
     return "\n".join(lines)

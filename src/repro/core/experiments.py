@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.faults import FaultSpec, FaultTarget, FaultType
+from repro.core.faults import FaultScope, FaultSpec, FaultTarget, FaultType
 
 #: The paper's injection durations in seconds.
 PAPER_DURATIONS_S = (2.0, 5.0, 10.0, 30.0)
@@ -50,13 +50,16 @@ def build_experiment_matrix(
     include_gold: bool = True,
     fault_types: tuple[FaultType, ...] = tuple(FaultType),
     targets: tuple[FaultTarget, ...] = tuple(FaultTarget),
+    scope: FaultScope = FaultScope.ALL,
 ) -> list[ExperimentSpec]:
     """Build the campaign's experiment list.
 
     With the defaults and 10 missions this returns exactly the paper's
     850 cases (840 faulty + 10 gold). Every case gets a deterministic
     seed derived from its coordinates in the matrix, so single
-    experiments can be re-run in isolation bit-identically.
+    experiments can be re-run in isolation bit-identically. ``scope``
+    sets which redundant bank members each fault corrupts (the default
+    ALL is the paper's model).
     """
     if mission_ids is None:
         mission_ids = list(range(1, 11))
@@ -81,6 +84,7 @@ def build_experiment_matrix(
                         start_time_s=injection_time_s,
                         duration_s=duration,
                         seed=seed,
+                        scope=scope,
                     )
                     specs.append(ExperimentSpec(experiment_id, mission_id, fault))
                     experiment_id += 1

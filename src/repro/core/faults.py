@@ -42,6 +42,23 @@ class FaultType(enum.Enum):
     NOISE = "noise"
 
 
+class FaultScope(enum.Enum):
+    """Which members of a redundant IMU bank a fault corrupts.
+
+    The paper's campaigns corrupt the sensor data stream *after* the
+    driver layer, so every redundant sensor sees the same fault —
+    that is :attr:`ALL`, the default, and it reproduces the paper's
+    results exactly. :attr:`PRIMARY_ONLY` and :attr:`MEMBERS` model
+    faults that hit physical sensor instances (a damaged chip, a
+    targeted attack on one bus), which is where redundancy can
+    actually buy resilience.
+    """
+
+    ALL = "all"
+    PRIMARY_ONLY = "primary_only"
+    MEMBERS = "members"
+
+
 class FaultTarget(enum.Enum):
     """Which IMU component the fault is injected into."""
 
@@ -79,6 +96,8 @@ class FaultSpec:
     seed: int = 0
     noise_fraction: float = 0.05
     noise_bias_fraction: float = 0.03
+    scope: FaultScope = FaultScope.ALL
+    scope_members: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if self.start_time_s < 0.0:
@@ -89,6 +108,27 @@ class FaultSpec:
             raise ValueError("noise_fraction must be in (0, 1]")
         if not 0.0 <= self.noise_bias_fraction <= 1.0:
             raise ValueError("noise_bias_fraction must be in [0, 1]")
+        if self.scope is FaultScope.MEMBERS:
+            if not self.scope_members:
+                raise ValueError("scope=MEMBERS requires a non-empty scope_members")
+            if any(m < 0 for m in self.scope_members):
+                raise ValueError("scope_members must be non-negative bank indices")
+        elif self.scope_members:
+            raise ValueError("scope_members is only valid with scope=MEMBERS")
+
+    def affects_member(self, member_index: int) -> bool:
+        """True when this fault corrupts bank member ``member_index``.
+
+        Member 0 is the primary sensor; a single-IMU vehicle only ever
+        asks about member 0, for which ALL and PRIMARY_ONLY agree.
+        """
+        if self.scope is FaultScope.ALL:
+            return True
+        if self.scope is FaultScope.PRIMARY_ONLY:
+            return member_index == 0
+        if self.scope is FaultScope.MEMBERS:
+            return member_index in self.scope_members
+        raise ValueError(f"unhandled fault scope: {self.scope}")
 
     @property
     def end_time_s(self) -> float:

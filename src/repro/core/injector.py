@@ -19,19 +19,38 @@ class SensorFaultInjector:
     The injector tracks the last clean sample so FREEZE can latch the
     value from the instant the injection starts, and latches activation
     state so FIXED draws its random constant exactly once per window.
+
+    ``member_index`` identifies which redundant bank member this
+    injector sits in front of (0 = the primary, and the only member of
+    a single-IMU vehicle). The spec's :class:`~repro.core.faults
+    .FaultScope` decides whether this member is corrupted at all, and
+    each member derives its own behaviour seeds so ALL-scope random
+    faults do not produce implausibly identical streams on independent
+    sensors. Member 0's seeds are exactly the pre-redundancy ones, so
+    single-IMU results are bit-identical to the paper baseline.
     """
 
-    def __init__(self, spec: FaultSpec | None, accel_range: float, gyro_range: float) -> None:
+    def __init__(
+        self,
+        spec: FaultSpec | None,
+        accel_range: float,
+        gyro_range: float,
+        member_index: int = 0,
+    ) -> None:
+        if member_index < 0:
+            raise ValueError("member_index must be non-negative")
         self.spec = spec
+        self.member_index = member_index
+        self._affected = spec is not None and spec.affects_member(member_index)
         self._was_active = False
         self._accel_behavior: FaultBehavior | None = None
         self._gyro_behavior: FaultBehavior | None = None
-        if spec is not None:
+        if spec is not None and self._affected:
             if spec.target.affects_accel:
                 self._accel_behavior = FaultBehavior(
                     spec.fault_type,
                     accel_range,
-                    spec.seed,
+                    spec.seed + 2 * member_index,
                     spec.noise_fraction,
                     spec.noise_bias_fraction,
                 )
@@ -39,7 +58,7 @@ class SensorFaultInjector:
                 self._gyro_behavior = FaultBehavior(
                     spec.fault_type,
                     gyro_range,
-                    spec.seed + 1,
+                    spec.seed + 2 * member_index + 1,
                     spec.noise_fraction,
                     spec.noise_bias_fraction,
                 )
@@ -48,14 +67,18 @@ class SensorFaultInjector:
         """True while the fault window covers ``time_s``."""
         return self.spec is not None and self.spec.is_active(time_s)
 
+    def corrupts(self, time_s: float) -> bool:
+        """True while *this member's* stream is actually corrupted."""
+        return self._affected and self.is_active(time_s)
+
     def apply(self, sample: ImuSample) -> ImuSample:
         """Return the (possibly corrupted) sample to feed the stack.
 
-        Clean passthrough outside the window; inside it, the configured
-        behaviours replace the targeted triads. The input sample is not
-        mutated.
+        Clean passthrough outside the window (or when the fault's scope
+        spares this bank member); inside it, the configured behaviours
+        replace the targeted triads. The input sample is not mutated.
         """
-        if self.spec is None:
+        if self.spec is None or not self._affected:
             return sample
 
         active = self.spec.is_active(sample.time_s)

@@ -7,7 +7,9 @@ re-analysable without re-running. Two formats live here:
   flat, versioned, written atomically (temp file + ``os.replace``) so
   an interrupted save can never corrupt an existing results file.
   Schema v2 adds harness-error rows (``outcome: null`` plus ``error``
-  and ``attempts``); v1 files remain loadable.
+  and ``attempts``); v3 adds the redundancy axis (``fault_scope``,
+  ``mitigated``, ``imu_switchovers``, ``isolation_succeeded``); v1/v2
+  files remain loadable.
 * the **JSONL checkpoint journal** (:class:`CampaignJournal`): one
   fsync'd line per completed case, written *while the campaign runs*,
   so a crash or kill loses at most the in-flight cases. The journal
@@ -30,8 +32,8 @@ from repro.core.results import (
 )
 from repro.flightstack.commander import MissionOutcome
 
-_SCHEMA_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+_SCHEMA_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
 
 _JOURNAL_SCHEMA_VERSION = 1
 
@@ -52,6 +54,10 @@ def _result_to_dict(r: ExperimentResult) -> dict[str, Any]:
         "max_deviation_m": r.max_deviation_m,
         "error": r.error,
         "attempts": r.attempts,
+        "fault_scope": r.fault_scope,
+        "mitigated": r.mitigated,
+        "imu_switchovers": r.imu_switchovers,
+        "isolation_succeeded": r.isolation_succeeded,
     }
 
 
@@ -72,6 +78,10 @@ def _result_from_dict(r: dict[str, Any]) -> ExperimentResult:
         max_deviation_m=r["max_deviation_m"],
         error=r.get("error"),
         attempts=r.get("attempts", 1),
+        fault_scope=r.get("fault_scope"),
+        mitigated=r.get("mitigated", False),
+        imu_switchovers=r.get("imu_switchovers", 0),
+        isolation_succeeded=r.get("isolation_succeeded"),
     )
 
 
@@ -113,19 +123,22 @@ def export_csv(campaign: CampaignResult, path: str | Path) -> None:
     header = (
         "experiment_id,mission_id,fault_label,fault_type,target,"
         "injection_duration_s,outcome,flight_duration_s,distance_km,"
-        "inner_violations,outer_violations,max_deviation_m,error,attempts"
+        "inner_violations,outer_violations,max_deviation_m,error,attempts,"
+        "fault_scope,mitigated,imu_switchovers,isolation_succeeded"
     )
     lines = [header]
     for r in campaign.results:
         label = r.fault_label.replace(",", ";")
         outcome = r.outcome.value if r.outcome is not None else HARNESS_ERROR_OUTCOME
         error = (r.error or "").replace(",", ";").replace("\n", " ")
+        isolation = "" if r.isolation_succeeded is None else str(r.isolation_succeeded).lower()
         lines.append(
             f"{r.experiment_id},{r.mission_id},{label},{r.fault_type or ''},"
             f"{r.target or ''},{r.injection_duration_s if r.injection_duration_s is not None else ''},"
             f"{outcome},{r.flight_duration_s:.3f},{r.distance_km:.4f},"
             f"{r.inner_violations},{r.outer_violations},{r.max_deviation_m:.3f},"
-            f"{error},{r.attempts}"
+            f"{error},{r.attempts},{r.fault_scope or ''},"
+            f"{str(r.mitigated).lower()},{r.imu_switchovers},{isolation}"
         )
     atomic_write_text(Path(path), "\n".join(lines) + "\n")
 

@@ -142,6 +142,12 @@ def campaign_fingerprint(
         "mission_ids": list(config.mission_ids),
         "base_seed": config.base_seed,
         "include_gold": config.include_gold,
+        # The redundancy axis changes vehicle behaviour, so it must
+        # change the fingerprint (checkpoints from mitigation-on and
+        # mitigation-off campaigns can never be mixed).
+        "fault_scope": config.fault_scope.value,
+        "mitigation": config.mitigation,
+        "imu_redundancy": config.imu_redundancy,
         # Every FaultSpec field goes through the canonical serializer:
         # a seed or noise-fraction change must change the fingerprint,
         # or resume would silently mix results from different campaigns.

@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.experiments import ExperimentSpec
-from repro.core.faults import FaultSpec, FaultTarget, FaultType
+from repro.core.faults import FaultScope, FaultSpec, FaultTarget, FaultType
 from repro.flightstack.commander import MissionOutcome
 
 #: Serialized ``outcome`` label for rows whose *harness* failed (the
@@ -41,6 +41,14 @@ class ExperimentResult:
     max_deviation_m: float
     error: str | None = None
     attempts: int = 1
+    #: Which bank members the fault corrupted ("all" = paper baseline).
+    fault_scope: str | None = None
+    #: True when the vehicle flew with the redundant IMU bank enabled.
+    mitigated: bool = False
+    #: Primary-IMU switchovers performed during the run.
+    imu_switchovers: int = 0
+    #: Verdict of the last failsafe isolation episode (None: never ran).
+    isolation_succeeded: bool | None = None
 
     @property
     def is_gold(self) -> bool:
@@ -87,11 +95,17 @@ def fault_spec_to_dict(spec: FaultSpec) -> dict[str, Any]:
         "seed": spec.seed,
         "noise_fraction": spec.noise_fraction,
         "noise_bias_fraction": spec.noise_bias_fraction,
+        "scope": spec.scope.value,
+        "scope_members": list(spec.scope_members),
     }
 
 
 def fault_spec_from_dict(data: dict[str, Any]) -> FaultSpec:
-    """Inverse of :func:`fault_spec_to_dict`."""
+    """Inverse of :func:`fault_spec_to_dict`.
+
+    ``scope`` / ``scope_members`` default to the pre-redundancy
+    behaviour so spec dicts written before this PR still load.
+    """
     return FaultSpec(
         fault_type=FaultType(data["fault_type"]),
         target=FaultTarget(data["target"]),
@@ -100,6 +114,8 @@ def fault_spec_from_dict(data: dict[str, Any]) -> FaultSpec:
         seed=data["seed"],
         noise_fraction=data["noise_fraction"],
         noise_bias_fraction=data["noise_bias_fraction"],
+        scope=FaultScope(data.get("scope", FaultScope.ALL.value)),
+        scope_members=tuple(data.get("scope_members", ())),
     )
 
 
@@ -124,6 +140,7 @@ def harness_error_result(
         max_deviation_m=0.0,
         error=error,
         attempts=attempts,
+        fault_scope=spec.fault.scope.value if spec.fault else None,
     )
 
 

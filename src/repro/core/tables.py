@@ -8,9 +8,11 @@ fixed-width text table for terminals and logs.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.core.faults import FaultTarget, FaultType
 from repro.core.metrics import FailureRow, SummaryRow, failure_analysis, summarize
-from repro.core.results import CampaignResult
+from repro.core.results import CampaignResult, ExperimentResult
 
 _FAULT_LABEL_ORDER = [
     (target, fault_type) for target in FaultTarget for fault_type in FaultType
@@ -78,6 +80,97 @@ def table4_failure_analysis(campaign: CampaignResult) -> list[FailureRow]:
         if group:
             rows.append(failure_analysis(target.label, group))
     return rows
+
+
+@dataclass(frozen=True)
+class ResilienceRow:
+    """One row of the redundancy-comparison table.
+
+    Compares outcome shares for the same fault group between a
+    *baseline* campaign (no redundancy) and a *mitigated* one (IMU
+    bank + voting/switchover), run with the same seeds and fault scope.
+    """
+
+    label: str
+    runs: int
+    baseline_completed_pct: float
+    mitigated_completed_pct: float
+    baseline_crashed_pct: float
+    mitigated_crashed_pct: float
+    switchovers: int
+    isolations_succeeded: int
+
+    @property
+    def completed_delta_pct(self) -> float:
+        """Completion points gained (positive = redundancy helped)."""
+        return self.mitigated_completed_pct - self.baseline_completed_pct
+
+
+def _resilience_row(
+    label: str, base: list[ExperimentResult], mit: list[ExperimentResult]
+) -> ResilienceRow:
+    def pct(results: list[ExperimentResult], pred: str) -> float:
+        if not results:
+            return 0.0
+        return 100.0 * sum(1 for r in results if getattr(r, pred)) / len(results)
+
+    return ResilienceRow(
+        label=label,
+        runs=len(base),
+        baseline_completed_pct=pct(base, "completed"),
+        mitigated_completed_pct=pct(mit, "completed"),
+        baseline_crashed_pct=pct(base, "crashed"),
+        mitigated_crashed_pct=pct(mit, "crashed"),
+        switchovers=sum(r.imu_switchovers for r in mit),
+        isolations_succeeded=sum(1 for r in mit if r.isolation_succeeded),
+    )
+
+
+def resilience_comparison(
+    baseline: CampaignResult, mitigated: CampaignResult
+) -> list[ResilienceRow]:
+    """Outcome shares with vs. without the redundant IMU bank.
+
+    Both campaigns must cover the same faulty cases (same missions,
+    durations, and fault scope); rows are emitted per fault label in
+    the paper's component order, preceded by an overall row. Labels
+    present in only one campaign are skipped — comparing them would be
+    meaningless.
+    """
+    rows = [
+        _resilience_row("All faults", baseline.faulty, mitigated.faulty)
+    ]
+    for target, fault_type in _FAULT_LABEL_ORDER:
+        label = _fault_label(target, fault_type)
+        base_group = baseline.by_fault_label(label)
+        mit_group = mitigated.by_fault_label(label)
+        if base_group and mit_group:
+            rows.append(_resilience_row(label, base_group, mit_group))
+    return rows
+
+
+def render_resilience_table(rows: list[ResilienceRow], title: str = "") -> str:
+    """Fixed-width text rendering of the redundancy comparison."""
+    if not rows:
+        return f"{title}\n(empty)"
+    lines = []
+    if title:
+        lines.append(title)
+    header = (
+        f"{'Fault':<18} {'Runs':>5} {'Base compl':>11} {'Mit compl':>10} "
+        f"{'Delta':>7} {'Base crash':>11} {'Mit crash':>10} "
+        f"{'Switch':>7} {'Isolated':>9}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            f"{row.label:<18} {row.runs:>5} {row.baseline_completed_pct:>10.2f}% "
+            f"{row.mitigated_completed_pct:>9.2f}% {row.completed_delta_pct:>+6.1f} "
+            f"{row.baseline_crashed_pct:>10.2f}% {row.mitigated_crashed_pct:>9.2f}% "
+            f"{row.switchovers:>7} {row.isolations_succeeded:>9}"
+        )
+    return "\n".join(lines)
 
 
 def render_table(rows: list[SummaryRow] | list[FailureRow], title: str = "") -> str:

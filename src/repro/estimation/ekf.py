@@ -289,6 +289,38 @@ class Ekf:
         self.quaternion = quat_normalize(quat_multiply(self.quaternion, dq))
 
     # ------------------------------------------------------------------
+    # Sensor switchover
+    # ------------------------------------------------------------------
+
+    def reseed_after_imu_switch(self) -> None:
+        """Re-seed the delta-state after the primary IMU is replaced.
+
+        The bias estimates, flatline trackers, and innovation history
+        all describe the *retired* sensor: the new member has its own
+        turn-on biases, and the rejection windows accumulated while
+        flying corrupted data would keep the failsafe's EKF-health
+        trigger latched long after the data went clean. Position is
+        kept (GPS-derived, sensor-independent); attitude and velocity
+        covariance are inflated so the aiding updates can pull the
+        nominal state back from wherever the fault dragged it.
+        """
+        diag = self.covariance.ravel()[::16]
+        for block, variance in ((_BG, 1e-4), (_BA, 1e-2)):
+            self.covariance[block, :] = 0.0
+            self.covariance[:, block] = 0.0
+            diag[block] = variance
+        self.gyro_bias = np.zeros(3)
+        self.accel_bias = np.zeros(3)
+        diag[_TH] += 0.02
+        diag[_V] += 0.25
+        self.monitor.reset_all_windows()
+        self._last_raw_gyro = None
+        self._gyro_flatline_count = 0
+        self._last_raw_accel = None
+        self._accel_flatline_count = 0
+        self.imu_stale_latched = False
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 

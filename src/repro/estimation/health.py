@@ -26,13 +26,24 @@ from dataclasses import dataclass, field
 class ChannelHealth:
     """Rolling statistics for one innovation channel."""
 
+    #: Share of the rolling window that must be populated before the
+    #: channel may report ``failed`` (15/25 with the default window).
+    FAILED_MIN_FILL = 0.6
+
     window_size: int = 25
     last_test_ratio: float = 0.0
     peak_test_ratio: float = 0.0
     consecutive_rejections: int = 0
     total_rejections: int = 0
     total_updates: int = 0
-    recent: deque = field(default_factory=lambda: deque(maxlen=25))
+    recent: deque[bool] = field(default_factory=deque)
+
+    def __post_init__(self) -> None:
+        if self.window_size < 1:
+            raise ValueError("window_size must be >= 1")
+        # Re-bound whatever deque we were given so window_size is the
+        # single source of truth (a plain default deque is unbounded).
+        self.recent = deque(self.recent, maxlen=self.window_size)
 
     def record(self, test_ratio: float, accepted: bool) -> None:
         self.last_test_ratio = test_ratio
@@ -55,7 +66,13 @@ class ChannelHealth:
     @property
     def failed(self) -> bool:
         """Sustained, near-total rejection in the rolling window."""
-        return len(self.recent) >= 15 and self.rejection_fraction >= 0.8
+        min_fill = max(1, round(self.FAILED_MIN_FILL * self.window_size))
+        return len(self.recent) >= min_fill and self.rejection_fraction >= 0.8
+
+    def reset_window(self) -> None:
+        """Forget the rolling history (e.g. after a sensor switchover)."""
+        self.recent.clear()
+        self.consecutive_rejections = 0
 
 
 class InnovationMonitor:
@@ -101,6 +118,17 @@ class InnovationMonitor:
         for name, health in self.channels.items():
             if name == prefix or name.startswith(prefix + "_"):
                 health.consecutive_rejections = 0
+
+    def reset_all_windows(self) -> None:
+        """Forget every channel's rolling history.
+
+        Used on IMU switchover: the rejections accumulated against the
+        failed sensor say nothing about the new primary, and a stale
+        ~80%-rejected window would keep the failsafe's EKF-health
+        trigger latched for the whole isolation budget.
+        """
+        for health in self.channels.values():
+            health.reset_window()
 
     def any_velocity_position_failed(self) -> bool:
         """PX4-style 'filter fault' proxy used by the failsafe engine."""

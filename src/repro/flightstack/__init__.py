@@ -11,7 +11,12 @@ minimum of 1900 ms, and an emergency-land failsafe action.
 from repro.flightstack.params import FlightParams
 from repro.flightstack.commander import Commander, FlightPhase, MissionOutcome
 from repro.flightstack.navigator import Navigator, NavigatorOutput
-from repro.flightstack.failsafe import FailsafeEngine, FailsafeState, FailsafeTrigger
+from repro.flightstack.failsafe import (
+    FailsafeEngine,
+    FailsafeState,
+    FailsafeTrigger,
+    IsolationOutcome,
+)
 from repro.flightstack.crash import CrashDetector
 
 __all__ = [
@@ -24,5 +29,6 @@ __all__ = [
     "FailsafeEngine",
     "FailsafeState",
     "FailsafeTrigger",
+    "IsolationOutcome",
     "CrashDetector",
 ]

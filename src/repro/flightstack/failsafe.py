@@ -48,6 +48,19 @@ class FailsafeTrigger(enum.Enum):
     EKF_HEALTH = "ekf_health"
 
 
+class IsolationOutcome(enum.Enum):
+    """What the redundant-sensor isolation stage actually did.
+
+    Until this PR isolation was a pure timer (the paper's campaigns
+    corrupt every redundant sensor, so it could never succeed); with a
+    redundant IMU bank the vehicle now reports what happened.
+    """
+
+    NOT_ATTEMPTED = "not_attempted"
+    SWITCHED = "switched"
+    EXHAUSTED = "exhausted"
+
+
 @dataclass
 class FailsafeStatus:
     """Snapshot of the engine for logging and outcome classification."""
@@ -55,6 +68,8 @@ class FailsafeStatus:
     state: FailsafeState
     trigger: FailsafeTrigger
     engaged_time_s: float | None
+    isolation_outcome: IsolationOutcome = IsolationOutcome.NOT_ATTEMPTED
+    isolation_succeeded: bool | None = None
 
 
 class FailsafeEngine:
@@ -65,6 +80,11 @@ class FailsafeEngine:
         self.state = FailsafeState.NOMINAL
         self.trigger = FailsafeTrigger.NONE
         self.engaged_time_s: float | None = None
+        #: What redundancy did during the latest isolation episode.
+        self.isolation_outcome = IsolationOutcome.NOT_ATTEMPTED
+        #: ``None`` until an isolation episode resolves; then True when
+        #: it returned the vehicle to NOMINAL, False when it ENGAGED.
+        self.isolation_succeeded: bool | None = None
         self._condition_active_since: float | None = None
         self._isolation_started_at: float | None = None
         self._condition_clear_since: float | None = None
@@ -75,7 +95,29 @@ class FailsafeEngine:
         return self.state == FailsafeState.ENGAGED
 
     def status(self) -> FailsafeStatus:
-        return FailsafeStatus(self.state, self.trigger, self.engaged_time_s)
+        return FailsafeStatus(
+            self.state,
+            self.trigger,
+            self.engaged_time_s,
+            self.isolation_outcome,
+            self.isolation_succeeded,
+        )
+
+    def report_isolation(self, time_s: float, outcome: IsolationOutcome) -> None:
+        """Record what the redundancy manager did while ISOLATING.
+
+        A successful switchover restarts the isolation window: the
+        debounced condition was measured against the retired sensor,
+        and the new primary deserves the full isolation budget to prove
+        itself before the failsafe proper may engage. Reports outside
+        the ISOLATING stage are ignored (no switchover can happen
+        outside it).
+        """
+        if self.state != FailsafeState.ISOLATING:
+            return
+        self.isolation_outcome = outcome
+        if outcome is IsolationOutcome.SWITCHED:
+            self._isolation_started_at = time_s
 
     def update(
         self,
@@ -101,6 +143,8 @@ class FailsafeEngine:
                     self.state = FailsafeState.ISOLATING
                     self._isolation_started_at = time_s
                     self._condition_clear_since = None
+                    self.isolation_outcome = IsolationOutcome.NOT_ATTEMPTED
+                    self.isolation_succeeded = None
             else:
                 self._condition_active_since = None
                 self.trigger = FailsafeTrigger.NONE
@@ -112,9 +156,11 @@ class FailsafeEngine:
                 self._condition_clear_since = time_s
             elif time_s - self._condition_clear_since > 1.0:
                 # The condition cleared and stayed clear: isolation
-                # "succeeded" (fault ended); back to nominal flight.
+                # succeeded (switchover worked, or the fault ended on
+                # its own); back to nominal flight.
                 self.state = FailsafeState.NOMINAL
                 self.trigger = FailsafeTrigger.NONE
+                self.isolation_succeeded = True
                 self._condition_active_since = None
                 self._isolation_started_at = None
                 return
@@ -126,6 +172,7 @@ class FailsafeEngine:
         if elapsed >= self.params.fs_isolation_time_s and trigger != FailsafeTrigger.NONE:
             self.state = FailsafeState.ENGAGED
             self.engaged_time_s = time_s
+            self.isolation_succeeded = False
 
     def _detect(
         self,

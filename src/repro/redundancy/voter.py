@@ -1,0 +1,144 @@
+"""Cross-sensor voting over a redundant IMU bank.
+
+The voter compares every bank member against the member-wise median of
+the bank (the classic mid-value select used by flight-control voters:
+with one corrupted member out of three, the median is always formed
+from healthy samples). A member whose residual against the median
+exceeds the configured thresholds for a debounce interval is declared
+*unhealthy*; it recovers only after staying inside the envelope for a
+longer re-admission interval, so a fault oscillating around the
+threshold cannot flap the primary selection.
+
+With two members the median degenerates to the mean and the voter can
+detect disagreement but not attribute it; three or more members give
+full fault isolation — which is why
+:class:`~repro.redundancy.bank.RedundancyConfig` defaults to three.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sensors.imu import ImuSample
+
+
+@dataclass(frozen=True)
+class VoterParams:
+    """Mismatch thresholds and debounce times of the cross-sensor voter.
+
+    Attributes:
+        accel_threshold_m_s2: residual against the bank median above
+            which an accelerometer triad counts as mismatched. The
+            default clears normal sensor noise (sigma ~0.05 m/s^2) by a
+            wide margin while catching every Table I behaviour.
+        gyro_threshold_rad_s: same for the gyroscope triad.
+        mismatch_debounce_s: how long a member must stay mismatched
+            before it is declared unhealthy.
+        readmit_debounce_s: how long a flagged member must stay clean
+            before it counts as healthy again (longer than the mismatch
+            debounce, so selection cannot flap).
+    """
+
+    accel_threshold_m_s2: float = 3.0
+    gyro_threshold_rad_s: float = 0.3
+    mismatch_debounce_s: float = 0.15
+    readmit_debounce_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.accel_threshold_m_s2 <= 0.0 or self.gyro_threshold_rad_s <= 0.0:
+            raise ValueError("voter thresholds must be positive")
+        if self.mismatch_debounce_s < 0.0 or self.readmit_debounce_s < 0.0:
+            raise ValueError("debounce times must be non-negative")
+
+
+@dataclass(frozen=True)
+class VoteReport:
+    """One voting cycle: residuals and health verdicts per member.
+
+    ``residuals`` are normalised (1.0 = exactly at threshold; the
+    accel and gyro residuals are combined by the worse of the two), so
+    callers can rank members without caring which triad disagreed.
+    """
+
+    time_s: float
+    residuals: tuple[float, ...]
+    mismatched: tuple[bool, ...]
+    unhealthy: tuple[bool, ...]
+    median_accel: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+    median_gyro: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+
+    @property
+    def healthy_members(self) -> tuple[int, ...]:
+        """Indices of members currently passing the vote."""
+        return tuple(i for i, bad in enumerate(self.unhealthy) if not bad)
+
+    def preferred_member(self, exclude: frozenset[int] | set[int] = frozenset()) -> int | None:
+        """Best healthy member outside ``exclude`` (lowest residual,
+        ties broken toward the lowest index), or ``None`` if no healthy
+        candidate remains."""
+        candidates = [i for i in self.healthy_members if i not in exclude]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda i: (self.residuals[i], i))
+
+
+class Voter:
+    """Debounced median voter over ``num_members`` IMU streams."""
+
+    def __init__(self, params: VoterParams | None = None, num_members: int = 3) -> None:
+        if num_members < 1:
+            raise ValueError("num_members must be >= 1")
+        self.params = params or VoterParams()
+        self.num_members = num_members
+        self._mismatch_time_s = [0.0] * num_members
+        self._clean_time_s = [0.0] * num_members
+        self._unhealthy = [False] * num_members
+
+    def update(self, samples: list[ImuSample], dt: float) -> VoteReport:
+        """Advance the vote by one cycle of bank samples."""
+        if len(samples) != self.num_members:
+            raise ValueError(
+                f"expected {self.num_members} samples, got {len(samples)}"
+            )
+        if dt <= 0.0:
+            raise ValueError("dt must be positive")
+        p = self.params
+        accels = np.stack([s.accel for s in samples])
+        gyros = np.stack([s.gyro for s in samples])
+        median_accel = np.median(accels, axis=0)
+        median_gyro = np.median(gyros, axis=0)
+
+        residuals: list[float] = []
+        mismatched: list[bool] = []
+        for i in range(self.num_members):
+            accel_res = float(np.linalg.norm(accels[i] - median_accel))
+            gyro_res = float(np.linalg.norm(gyros[i] - median_gyro))
+            residual = max(
+                accel_res / p.accel_threshold_m_s2,
+                gyro_res / p.gyro_threshold_rad_s,
+            )
+            residuals.append(residual)
+            mismatched.append(residual > 1.0)
+
+        for i, bad_now in enumerate(mismatched):
+            if bad_now:
+                self._mismatch_time_s[i] += dt
+                self._clean_time_s[i] = 0.0
+                if self._mismatch_time_s[i] >= p.mismatch_debounce_s:
+                    self._unhealthy[i] = True
+            else:
+                self._clean_time_s[i] += dt
+                self._mismatch_time_s[i] = 0.0
+                if self._unhealthy[i] and self._clean_time_s[i] >= p.readmit_debounce_s:
+                    self._unhealthy[i] = False
+
+        return VoteReport(
+            time_s=samples[0].time_s,
+            residuals=tuple(residuals),
+            mismatched=tuple(mismatched),
+            unhealthy=tuple(self._unhealthy),
+            median_accel=median_accel,
+            median_gyro=median_gyro,
+        )

@@ -29,18 +29,20 @@ from repro.control import (
     RateController,
 )
 from repro.core.faults import FaultSpec
-from repro.core.injector import SensorFaultInjector
 from repro.estimation import Ekf, EkfParams, EstimatorHealth
 from repro.flightstack import (
     Commander,
     CrashDetector,
     FailsafeEngine,
+    FailsafeState,
     FlightParams,
     FlightPhase,
+    IsolationOutcome,
     MissionOutcome,
 )
 from repro.missions.plan import MissionPlan
-from repro.sensors import Barometer, GpsModel, Imu, Magnetometer
+from repro.redundancy import ImuBank, RedundancyConfig, RedundancyManager
+from repro.sensors import Barometer, GpsModel, Magnetometer
 from repro.sim import (
     AirframeParams,
     Environment,
@@ -68,6 +70,9 @@ class SystemConfig:
     #: Ablation switch: when False the attitude loop always runs at full
     #: gain, ignoring the estimator's attitude confidence.
     confidence_scheduling: bool = True
+    #: Redundant IMU bank + voter; disabled = the paper's single-IMU
+    #: vehicle, bit-identical to the pre-redundancy pipeline.
+    redundancy: RedundancyConfig = field(default_factory=RedundancyConfig)
 
     def __post_init__(self) -> None:
         if self.physics_dt_s <= 0.0:
@@ -89,6 +94,10 @@ class MissionResult:
     crash_time_s: float | None
     failsafe_time_s: float | None
     fault_label: str
+    failsafe_trigger: str = "none"
+    isolation_outcome: str = "not_attempted"
+    isolation_succeeded: bool | None = None
+    imu_switchovers: int = 0
 
     @property
     def completed(self) -> bool:
@@ -122,11 +131,23 @@ class UavSystem:
         initial.quaternion = quat_from_euler(0.0, 0.0, initial_yaw)
         self.physics = QuadrotorPhysics(airframe, environment, initial)
 
-        self.imu = Imu(seed=seed + 2)
+        # Member 0 of the bank reuses the historical IMU seed, so a
+        # disabled-redundancy vehicle (bank of one) is bit-identical to
+        # the original single-IMU pipeline.
+        red = cfg.redundancy
+        self.imu_bank = ImuBank(
+            fault,
+            num_members=red.num_members if red.enabled else 1,
+            base_seed=seed + 2,
+        )
+        self.imu = self.imu_bank.members[0]
+        self.injector = self.imu_bank.injectors[0]
+        self.redundancy = RedundancyManager(
+            red.voter, self.imu_bank.num_members, enabled=red.enabled
+        )
         self.gps = GpsModel(seed=seed + 3)
         self.baro = Barometer(seed=seed + 4)
         self.mag = Magnetometer(seed=seed + 5)
-        self.injector = SensorFaultInjector(fault, self.imu.accel_range, self.imu.gyro_range)
         self.fault = fault
 
         self.ekf = Ekf(
@@ -173,9 +194,23 @@ class UavSystem:
         t = self.physics.time_s
         truth = self.physics.state
 
-        # 1. Sensing (+ fault injection on the IMU path).
-        clean = self.imu.sample(t, self.physics.specific_force_body, truth.angular_rate_body, dt)
-        imu_sample = self.injector.apply(clean)
+        # 1. Sensing (+ fault injection on the IMU path). The redundancy
+        # manager picks which bank member feeds the stack; switchover is
+        # only allowed while the failsafe is isolating.
+        samples = self.imu_bank.sample(
+            t, self.physics.specific_force_body, truth.angular_rate_body, dt
+        )
+        selection = self.redundancy.select(
+            t, samples, dt, isolating=self.failsafe.state == FailsafeState.ISOLATING
+        )
+        imu_sample = selection.sample
+        if selection.switched:
+            # New physical sensor: re-seed the estimator's delta-state
+            # and give the failsafe a fresh isolation window.
+            self.ekf.reseed_after_imu_switch()
+            self.failsafe.report_isolation(t, IsolationOutcome.SWITCHED)
+        elif selection.exhausted:
+            self.failsafe.report_isolation(t, IsolationOutcome.EXHAUSTED)
         self._last_gyro = imu_sample.gyro
 
         # 2. Estimation.
@@ -190,6 +225,11 @@ class UavSystem:
         if yaw is not None:
             self.ekf.update_mag_yaw(yaw)
             self.ekf.update_gravity_tilt(imu_sample.accel, imu_sample.gyro)
+        elif self.redundancy.degraded:
+            # No healthy bank member left: the gyro-integrated attitude
+            # is drifting on faulty data, so run the complementary
+            # gravity-tilt blend every tick instead of at the mag rate.
+            self.ekf.update_gravity_tilt(imu_sample.accel, imu_sample.gyro, dt)
 
         est = self.ekf.state
         est_tilt = self._estimated_tilt()
@@ -316,4 +356,8 @@ class UavSystem:
             ),
             failsafe_time_s=self.failsafe.engaged_time_s,
             fault_label=self.fault.label if self.fault else "Gold Run",
+            failsafe_trigger=self.failsafe.trigger.value,
+            isolation_outcome=self.failsafe.isolation_outcome.value,
+            isolation_succeeded=self.failsafe.isolation_succeeded,
+            imu_switchovers=len(self.redundancy.events),
         )

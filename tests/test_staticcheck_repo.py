@@ -52,11 +52,13 @@ def test_cli_list_rules(capsys):
         assert rule.rule_id in out
 
 
-def _mutated_tree(tmp_path: Path, filename: str, old: str, new: str) -> Path:
-    """Copy the real core/ sources with one file textually mutated."""
-    dest_root = tmp_path / "core"
+def _mutated_tree(
+    tmp_path: Path, filename: str, old: str, new: str, subdir: str = "core"
+) -> Path:
+    """Copy one real source package with one file textually mutated."""
+    dest_root = tmp_path / subdir
     dest_root.mkdir()
-    for src_file in sorted((SRC_TREE / "core").glob("*.py")):
+    for src_file in sorted((SRC_TREE / subdir).glob("*.py")):
         text = src_file.read_text()
         if src_file.name == filename:
             assert old in text, f"mutation anchor missing from {filename}"
@@ -78,6 +80,39 @@ def test_removing_a_fault_branch_fails_fm001(tmp_path):
     fm001 = [v for v in report.violations if v.rule_id == "FM001"]
     assert fm001, render_json(report)
     assert any("FaultType.MIN" in v.message for v in fm001)
+
+
+def test_removing_a_fault_scope_branch_fails_fm001(tmp_path):
+    """FaultScope.affects_member is an FM001-guarded dispatch: a new
+    scope member without an explicit branch must fail the lint."""
+    root = _mutated_tree(
+        tmp_path,
+        "faults.py",
+        "        if self.scope is FaultScope.PRIMARY_ONLY:\n"
+        "            return member_index == 0\n",
+        "",
+    )
+    report = run_reprolint([root], rules=[ExhaustiveDispatchRule()])
+    fm001 = [v for v in report.violations if v.rule_id == "FM001"]
+    assert fm001, render_json(report)
+    assert any("FaultScope.PRIMARY_ONLY" in v.message for v in fm001)
+
+
+def test_removing_a_recovery_state_description_fails_fm001(tmp_path):
+    """RECOVERY_STATE_DESCRIPTIONS is a dict-literal dispatch over
+    RecoveryState; dropping an entry must fail the lint."""
+    root = _mutated_tree(
+        tmp_path,
+        "recovery.py",
+        '    RecoveryState.DEGRADED: "no healthy member; median + '
+        'complementary attitude fallback",\n',
+        "",
+        subdir="redundancy",
+    )
+    report = run_reprolint([root], rules=[ExhaustiveDispatchRule()])
+    fm001 = [v for v in report.violations if v.rule_id == "FM001"]
+    assert fm001, render_json(report)
+    assert any("RecoveryState.DEGRADED" in v.message for v in fm001)
 
 
 def test_dropping_a_spec_field_from_serializer_fails_fm002(tmp_path):
