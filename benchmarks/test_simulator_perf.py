@@ -3,9 +3,21 @@
 Times the full closed-loop step (physics + sensors + injector + EKF +
 control cascade) to document the real-time factor of the substrate the
 campaign runs on.
+
+Budget asserts use the *median* round, not the mean — a single
+scheduler hiccup in one round must not fail the suite — and the budget
+itself is overridable via ``REPRO_BENCH_BUDGET_S`` for slow CI runners
+(the fault case gets 1.5x the budget). ``python -m repro.perf`` is the
+richer profiling entry point; this file is only the pytest-visible
+smoke check.
 """
 
+import os
+
 from repro import FaultSpec, FaultTarget, FaultType, SystemConfig, UavSystem, valencia_missions
+
+#: Seconds allowed for 100 steps (1 simulated second) in the gold run.
+BUDGET_S = float(os.environ.get("REPRO_BENCH_BUDGET_S", "1.0"))
 
 
 def _stepper(fault=None):
@@ -27,17 +39,26 @@ def test_closed_loop_step_rate(benchmark):
 
     benchmark.pedantic(step_100, rounds=20, iterations=1)
     # 100 steps = 1 simulated second; the budget check documents that the
-    # simulator is fast enough to run the 850-case campaign.
-    assert benchmark.stats.stats.mean < 1.0  # faster than real time
+    # simulator is fast enough to run the 850-case campaign. Skipped
+    # under --benchmark-disable, where no stats exist.
+    if benchmark.enabled:
+        assert benchmark.stats.stats.median < BUDGET_S  # faster than real time
 
 
 def test_closed_loop_step_rate_under_fault(benchmark):
-    fault = FaultSpec(FaultType.RANDOM, FaultTarget.IMU, start_time_s=0.0, duration_s=1e6)
+    # Fault onset at warmup end so the benched rounds measure the active
+    # fault response (injector + gated EKF + failsafe + desaturating
+    # mixer), not cheap post-crash idle steps. A Random IMU fault drives
+    # the vehicle terminal within ~4 s of onset, so only the first few
+    # rounds are in the violent regime — the median still reflects it
+    # with rounds=3.
+    fault = FaultSpec(FaultType.RANDOM, FaultTarget.IMU, start_time_s=10.0, duration_s=1e6)
     system = _stepper(fault)
 
     def step_100():
         for _ in range(100):
             system.step()
 
-    benchmark.pedantic(step_100, rounds=10, iterations=1)
-    assert benchmark.stats.stats.mean < 1.5
+    benchmark.pedantic(step_100, rounds=3, iterations=1)
+    if benchmark.enabled:
+        assert benchmark.stats.stats.median < BUDGET_S * 1.5

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.mathutils import quat_conjugate, quat_multiply, quat_normalize
+from repro.mathutils import quat_conjugate_into, quat_multiply_into, quat_normalize_into
 
 
 @dataclass
@@ -30,6 +30,11 @@ class AttitudeController:
 
     def __init__(self, params: AttitudeControllerParams | None = None):
         self.params = params or AttitudeControllerParams()
+        # Hot-loop work buffers; `rate_setpoint` returns `_rate_sp`
+        # without copying (valid until the next call).
+        self._qc = np.zeros(4)
+        self._qe = np.zeros(4)
+        self._rate_sp = np.zeros(3)
 
     def rate_setpoint(
         self,
@@ -50,12 +55,16 @@ class AttitudeController:
         if not 0.0 < confidence <= 1.0:
             raise ValueError(f"confidence must be in (0, 1], got {confidence}")
         p = self.params
-        q_err = quat_normalize(quat_multiply(quat_conjugate(q_estimate), q_setpoint))
+        q_err = self._qe
+        quat_conjugate_into(q_estimate, self._qc)
+        quat_multiply_into(self._qc, q_setpoint, q_err)
+        quat_normalize_into(q_err, q_err)
         if q_err[0] < 0.0:
-            q_err = -q_err  # take the short way around
+            np.negative(q_err, out=q_err)  # take the short way around
 
         # Small-angle: rotation vector ~ 2 * vector part.
-        rate_sp = 2.0 * p.attitude_p * confidence * q_err[1:4]
+        rate_sp = self._rate_sp
+        np.multiply(q_err[1:4], 2.0 * p.attitude_p * confidence, out=rate_sp)
         rate_sp[2] *= p.yaw_weight
 
         max_rate = p.max_rate_rad_s * confidence

@@ -38,6 +38,12 @@ class Mixer:
 
     def __init__(self, gains: MixerGains | None = None):
         self.gains = gains or MixerGains()
+        g = self.gains
+        # Hot-loop work buffers; `mix` returns `_fractions` without
+        # copying (valid until the next call).
+        self._weights = np.array([g.roll_pitch, g.roll_pitch, g.yaw])
+        self._tq = np.zeros(3)
+        self._fractions = np.zeros(4)
 
     def mix(self, collective: float, torque_cmd: np.ndarray) -> np.ndarray:
         """Return 4 normalised motor commands in [0, 1].
@@ -52,9 +58,12 @@ class Mixer:
         rotor map is quadratic (thrust = T_max * command^2), so that the
         commanded collective is actually produced.
         """
-        g = self.gains
-        weights = np.array([g.roll_pitch, g.roll_pitch, g.yaw])
-        torque_part = self._SIGNS @ (np.clip(torque_cmd, -1.0, 1.0) * weights)
+        tq = self._tq
+        np.maximum(torque_cmd, -1.0, out=tq)
+        np.minimum(tq, 1.0, out=tq)
+        np.multiply(tq, self._weights, out=tq)
+        torque_part = self._fractions
+        np.matmul(self._SIGNS, tq, out=torque_part)
 
         # When the torque demand alone spans more than the [0, 1] command
         # range, no collective shift can fit it; scale it down uniformly
@@ -62,8 +71,9 @@ class Mixer:
         # motor and flips a small torque's direction.
         span = float(torque_part.max() - torque_part.min())
         if span > 1.0:
-            torque_part = torque_part / span
-        fractions = collective + torque_part
+            np.divide(torque_part, span, out=torque_part)
+        fractions = torque_part
+        np.add(fractions, collective, out=fractions)
 
         # Desaturate by shifting collective; torque differences survive.
         overflow = fractions.max() - 1.0
@@ -72,4 +82,7 @@ class Mixer:
         underflow = -fractions.min()
         if underflow > 0.0:
             fractions += min(underflow, max(0.0, 1.0 - fractions.max()))
-        return np.sqrt(np.clip(fractions, 0.0, 1.0))
+        np.maximum(fractions, 0.0, out=fractions)
+        np.minimum(fractions, 1.0, out=fractions)
+        np.sqrt(fractions, out=fractions)
+        return fractions

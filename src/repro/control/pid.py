@@ -37,6 +37,12 @@ class Pid:
         self._integral = np.zeros(dim)
         self._prev_measurement: np.ndarray | None = None
         self._deriv_filtered = np.zeros(dim)
+        # Hot-loop work buffers; `update` returns `_out` without copying.
+        # `_zero_deriv` stands in for the allocating path's fresh zeros
+        # when the derivative term is inactive and is never written.
+        self._out = np.zeros(dim)
+        self._tmp = np.zeros(dim)
+        self._zero_deriv = np.zeros(dim)
 
     def reset(self) -> None:
         """Clear integral and derivative memory."""
@@ -51,21 +57,43 @@ class Pid:
         if dt <= 0.0:
             raise ValueError(f"dt must be positive, got {dt}")
 
+        # Every in-place expression mirrors the allocating original
+        # operation-for-operation, so outputs match bit-for-bit.
+        tmp = self._tmp
         if p.ki > 0.0:
-            self._integral = np.clip(
-                self._integral + error * dt, -p.integral_limit, p.integral_limit
-            )
+            np.multiply(error, dt, out=tmp)
+            np.add(self._integral, tmp, out=tmp)
+            # maximum/minimum chain == np.clip bit-for-bit (incl. NaN);
+            # it skips np.clip's python dispatch layers, which dominated
+            # the per-step profile at three clips per PID update.
+            np.maximum(tmp, -p.integral_limit, out=self._integral)
+            np.minimum(self._integral, p.integral_limit, out=self._integral)
 
-        deriv = np.zeros(self.dim)
+        deriv = self._zero_deriv
         if p.kd > 0.0 and self._prev_measurement is not None:
-            raw = -(measurement - self._prev_measurement) / dt
+            # raw = -(measurement - prev) / dt
+            np.subtract(measurement, self._prev_measurement, out=tmp)
+            np.negative(tmp, out=tmp)
+            np.divide(tmp, dt, out=tmp)
             alpha = min(1.0, 2.0 * np.pi * p.derivative_filter_hz * dt)
-            self._deriv_filtered += alpha * (raw - self._deriv_filtered)
+            np.subtract(tmp, self._deriv_filtered, out=tmp)
+            tmp *= alpha
+            self._deriv_filtered += tmp
             deriv = self._deriv_filtered
-        self._prev_measurement = np.array(measurement, dtype=float, copy=True)
+        if self._prev_measurement is None:
+            self._prev_measurement = np.array(measurement, dtype=float, copy=True)
+        else:
+            np.copyto(self._prev_measurement, measurement)
 
-        out = p.kp * error + p.ki * self._integral + p.kd * deriv
-        return np.clip(out, -p.output_limit, p.output_limit)
+        out = self._out
+        np.multiply(error, p.kp, out=out)
+        np.multiply(self._integral, p.ki, out=tmp)
+        out += tmp
+        np.multiply(deriv, p.kd, out=tmp)
+        out += tmp
+        np.maximum(out, -p.output_limit, out=out)
+        np.minimum(out, p.output_limit, out=out)
+        return out
 
     @property
     def integral(self) -> np.ndarray:

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.control.pid import Pid, PidParams
-from repro.mathutils import clamp, clamp_norm, quat_from_rotation_matrix
+from repro.mathutils import clamp, quat_from_rotation_matrix_into
 
 
 @dataclass
@@ -55,6 +55,16 @@ class PositionController:
         self.max_total_thrust_n = max_total_thrust_n
         self.gravity = gravity_m_s2
         self._vel_pid = Pid(self.params.vel_pid, dim=3)
+        # Hot-loop work buffers; the setpoint methods return these
+        # without copying, and they stay valid until the next call.
+        self._vel_sp = np.zeros(3)
+        self._vel_err = np.zeros(3)
+        self._thrust_vec = np.zeros(3)
+        self._body_z = np.zeros(3)
+        self._body_y = np.zeros(3)
+        self._body_x = np.zeros(3)
+        self._rot_sp = np.zeros((3, 3))
+        self._q_sp = np.zeros(4)
 
     def reset(self) -> None:
         """Clear loop memory (call on mode transitions)."""
@@ -69,11 +79,13 @@ class PositionController:
     ) -> np.ndarray:
         """P position loop with per-axis envelope limits."""
         p = self.params
-        vel_sp = p.pos_p * (position_sp_ned - position_ned)
+        vel_sp = self._vel_sp
+        np.subtract(position_sp_ned, position_ned, out=vel_sp)
+        np.multiply(vel_sp, p.pos_p, out=vel_sp)
         if feedforward_ned is not None:
-            vel_sp = vel_sp + feedforward_ned
+            vel_sp += feedforward_ned
         max_xy = cruise_speed_m_s if cruise_speed_m_s is not None else p.max_speed_xy_m_s
-        vel_sp[:2] = clamp_norm(vel_sp[:2], max_xy)
+        _clamp_norm_inplace(vel_sp[:2], max_xy)
         vel_sp[2] = clamp(float(vel_sp[2]), -p.max_speed_up_m_s, p.max_speed_down_m_s)
         return vel_sp
 
@@ -81,7 +93,8 @@ class PositionController:
         self, velocity_sp_ned: np.ndarray, velocity_ned: np.ndarray, dt: float
     ) -> np.ndarray:
         """PID velocity loop producing an NED acceleration setpoint."""
-        return self._vel_pid.update(velocity_sp_ned - velocity_ned, velocity_ned, dt)
+        np.subtract(velocity_sp_ned, velocity_ned, out=self._vel_err)
+        return self._vel_pid.update(self._vel_err, velocity_ned, dt)
 
     def thrust_and_attitude(
         self, accel_sp_ned: np.ndarray, yaw_sp_rad: float
@@ -95,7 +108,11 @@ class PositionController:
         """
         p = self.params
         # Desired thrust (sans mass) pointing "up" along -z for hover.
-        thrust_vec = accel_sp_ned - np.array([0.0, 0.0, self.gravity])
+        # (`x - 0.0 == x` bit-for-bit, so only the z component subtracts.)
+        thrust_vec = self._thrust_vec
+        thrust_vec[0] = accel_sp_ned[0]
+        thrust_vec[1] = accel_sp_ned[1]
+        thrust_vec[2] = accel_sp_ned[2] - self.gravity
 
         # A multirotor cannot push downward: even a maximal descent
         # demand keeps some upward thrust (PX4's minimum thrust-z), which
@@ -105,9 +122,13 @@ class PositionController:
             thrust_vec[2] = -min_up
 
         # Tilt limiting: angle between thrust_vec and straight up (-z).
-        norm = float(np.linalg.norm(thrust_vec))
+        # math.sqrt(float(v @ v)) == np.linalg.norm(v) bit-for-bit (same
+        # BLAS dot), minus the linalg wrapper cost.
+        norm = math.sqrt(float(thrust_vec @ thrust_vec))
         if norm < 1e-6:
-            thrust_vec = np.array([0.0, 0.0, -self.gravity])
+            thrust_vec[0] = 0.0
+            thrust_vec[1] = 0.0
+            thrust_vec[2] = -self.gravity
             norm = self.gravity
         cos_tilt = -thrust_vec[2] / norm
         tilt = math.acos(clamp(cos_tilt, -1.0, 1.0))
@@ -117,25 +138,52 @@ class PositionController:
             if vertical < 1e-6:
                 vertical = self.gravity * 0.5
             max_horizontal = vertical * math.tan(p.max_tilt_rad)
-            thrust_vec[:2] = clamp_norm(thrust_vec[:2], max_horizontal)
-            norm = float(np.linalg.norm(thrust_vec))
+            _clamp_norm_inplace(thrust_vec[:2], max_horizontal)
+            norm = math.sqrt(float(thrust_vec @ thrust_vec))
 
-        body_z = -thrust_vec / norm  # desired body +z (down) in world frame
+        # Desired body +z (down) in world frame: -thrust_vec / norm.
+        body_z = self._body_z
+        np.negative(thrust_vec, out=body_z)
+        np.divide(body_z, norm, out=body_z)
 
         # Build the full desired rotation from body_z and the yaw setpoint.
-        yaw_vec = np.array([math.cos(yaw_sp_rad), math.sin(yaw_sp_rad), 0.0])
-        body_y = np.cross(body_z, yaw_vec)
-        y_norm = float(np.linalg.norm(body_y))
+        # body_y = cross(body_z, yaw_vec) with yaw_vec = [cos, sin, 0];
+        # the explicit `* 0.0` terms keep signed zeros identical to the
+        # allocating np.cross original.
+        cy = math.cos(yaw_sp_rad)
+        sy = math.sin(yaw_sp_rad)
+        body_y = self._body_y
+        body_y[0] = body_z[1] * 0.0 - body_z[2] * sy
+        body_y[1] = body_z[2] * cy - body_z[0] * 0.0
+        body_y[2] = body_z[0] * sy - body_z[1] * cy
+        y_norm = math.sqrt(float(body_y @ body_y))
         if y_norm < 1e-6:
             # Thrust nearly horizontal along yaw direction; pick any leg.
-            body_y = np.array([-math.sin(yaw_sp_rad), math.cos(yaw_sp_rad), 0.0])
+            body_y[0] = -sy
+            body_y[1] = cy
+            body_y[2] = 0.0
             y_norm = 1.0
-        body_y = body_y / y_norm
-        body_x = np.cross(body_y, body_z)
-        rot_sp = np.column_stack([body_x, body_y, body_z])
-        q_sp = quat_from_rotation_matrix(rot_sp)
+        np.divide(body_y, y_norm, out=body_y)
+        body_x = self._body_x
+        body_x[0] = body_y[1] * body_z[2] - body_y[2] * body_z[1]
+        body_x[1] = body_y[2] * body_z[0] - body_y[0] * body_z[2]
+        body_x[2] = body_y[0] * body_z[1] - body_y[1] * body_z[0]
+        rot_sp = self._rot_sp
+        rot_sp[:, 0] = body_x
+        rot_sp[:, 1] = body_y
+        rot_sp[:, 2] = body_z
+        q_sp = quat_from_rotation_matrix_into(rot_sp, self._q_sp)
 
         collective = clamp(
             self.mass_kg * norm / self.max_total_thrust_n, p.min_thrust, p.max_thrust
         )
         return collective, q_sp
+
+
+def _clamp_norm_inplace(vec: np.ndarray, max_norm: float) -> None:
+    """In-place :func:`repro.mathutils.clamp_norm` (same dot, same scale)."""
+    if max_norm < 0.0:
+        raise ValueError(f"max_norm must be non-negative, got {max_norm}")
+    norm_sq = float(vec @ vec)
+    if norm_sq > max_norm * max_norm:
+        np.multiply(vec, max_norm / math.sqrt(norm_sq), out=vec)

@@ -38,6 +38,11 @@ class RateController:
         self.params = params or RateControllerParams()
         self._rp_pid = Pid(self.params.roll_pitch, dim=2)
         self._yaw_pid = Pid(self.params.yaw, dim=1)
+        # Hot-loop work buffers; `torque_command` returns `_torque`
+        # without copying (valid until the next call).
+        self._rp_err = np.zeros(2)
+        self._yaw_err = np.zeros(1)
+        self._torque = np.zeros(3)
 
     def reset(self) -> None:
         """Clear loop memory (call on arming/mode transitions)."""
@@ -48,8 +53,12 @@ class RateController:
         self, rate_sp: np.ndarray, gyro_rate: np.ndarray, dt: float
     ) -> np.ndarray:
         """Return normalised [roll, pitch, yaw] torque commands."""
-        rp_err = rate_sp[:2] - gyro_rate[:2]
-        rp_cmd = self._rp_pid.update(rp_err, gyro_rate[:2], dt)
-        yaw_err = np.array([rate_sp[2] - gyro_rate[2]])
-        yaw_cmd = self._yaw_pid.update(yaw_err, gyro_rate[2:3], dt)
-        return np.array([rp_cmd[0], rp_cmd[1], yaw_cmd[0]])
+        np.subtract(rate_sp[:2], gyro_rate[:2], out=self._rp_err)
+        rp_cmd = self._rp_pid.update(self._rp_err, gyro_rate[:2], dt)
+        self._yaw_err[0] = rate_sp[2] - gyro_rate[2]
+        yaw_cmd = self._yaw_pid.update(self._yaw_err, gyro_rate[2:3], dt)
+        torque = self._torque
+        torque[0] = rp_cmd[0]
+        torque[1] = rp_cmd[1]
+        torque[2] = yaw_cmd[0]
+        return torque

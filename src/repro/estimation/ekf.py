@@ -17,18 +17,24 @@ failsafe engine watches — mirroring PX4's EKF health flags.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.mathutils import (
     quat_from_axis_angle,
+    quat_from_axis_angle_into,
     quat_integrate,
+    quat_integrate_into,
     quat_multiply,
+    quat_multiply_into,
     quat_normalize,
+    quat_normalize_into,
     quat_rotate,
     quat_to_euler,
     quat_to_rotation_matrix,
+    quat_to_rotation_matrix_into,
     skew,
     wrap_angle,
 )
@@ -70,7 +76,7 @@ class EkfParams:
     enable_fusion_reset: bool = True
 
 
-@dataclass
+@dataclass(slots=True)
 class EkfState:
     """Nominal state snapshot (arrays are views; copy before storing)."""
 
@@ -114,7 +120,9 @@ class Ekf:
         self.quaternion = quat_from_axis_angle(np.array([0.0, 0.0, 1.0]), initial_yaw_rad)
         self.velocity_ned = np.zeros(3)
         self.position_ned = (
-            np.zeros(3) if initial_position_ned is None else np.asarray(initial_position_ned, float)
+            np.zeros(3)
+            if initial_position_ned is None
+            else np.array(initial_position_ned, dtype=float)
         )
         self.gyro_bias = np.zeros(3)
         self.accel_bias = np.zeros(3)
@@ -130,15 +138,69 @@ class Ekf:
         self.rate_body = np.zeros(3)
         # Stuck-sensor (flatline) detection: a real MEMS gyro never emits
         # bit-identical samples (thermal noise), so an exactly-constant
-        # triad means the data stream is dead or frozen.
-        self._last_raw_gyro: np.ndarray | None = None
+        # triad means the data stream is dead or frozen. The last raw
+        # triads are kept as scalars (element-wise `==` has exactly
+        # `np.array_equal` semantics for fixed-shape triads, including
+        # NaN) so the check allocates nothing.
+        self._lg0 = 0.0
+        self._lg1 = 0.0
+        self._lg2 = 0.0
+        self._have_lg = False
         self._gyro_flatline_count = 0
-        self._last_raw_accel: np.ndarray | None = None
+        self._la0 = 0.0
+        self._la1 = 0.0
+        self._la2 = 0.0
+        self._have_la = False
         self._accel_flatline_count = 0
+        # Array form of the flatline memory, maintained only by the naive
+        # reference implementation (repro.perf.reference) which shares
+        # this class's state via deepcopy.
+        self._last_raw_gyro: np.ndarray | None = None
+        self._last_raw_accel: np.ndarray | None = None
         # Latched filter fault: a full-IMU dropout (both triads
         # flatlined) means the inertial solution integrity is gone; like
         # PX4's EKF failure handling, the fault latches until landing.
         self.imu_stale_latched = False
+
+        # -- Hot-loop work buffers ------------------------------------
+        # Every in-place expression below mirrors its allocating
+        # original operation-for-operation (same order, same rounding);
+        # the differential and golden-trace tests pin this.
+        self._omega = np.zeros(3)
+        self._accel = np.zeros(3)
+        self._rot = np.zeros((3, 3))
+        self._neg_rot = np.zeros((3, 3))
+        self._accel_world = np.zeros(3)
+        self._phi = np.eye(15)
+        self._eye15 = np.eye(15)
+        self._skew = np.zeros((3, 3))
+        self._neg_eye3 = -np.eye(3)
+        self._I3 = np.eye(3)
+        self._t33 = np.zeros((3, 3))
+        self._t33b = np.zeros((3, 3))
+        self._cov_tmp = np.zeros((15, 15))
+        self._sym = np.zeros((15, 15))
+        # The diagonal view stays valid because the covariance array is
+        # only ever written in place after construction.
+        self._diag = self.covariance.ravel()[::16]
+        self._ph = np.zeros(15)
+        self._k = np.zeros(15)
+        self._dx = np.zeros(15)
+        self._outer = np.zeros((15, 15))
+        self._dq4 = np.zeros(4)
+        self._bias_tmp = np.zeros(3)
+        self._innov3 = np.zeros(3)
+        self._pos_var = np.zeros(3)
+        self._vel_var = np.full(3, 0.15**2)
+        self._h_baro = np.zeros(15)
+        self._h_baro[8] = -1.0  # d(alt)/d(p_down)
+        self._h_mag = np.zeros(15)
+        self._unit_h: dict[int, np.ndarray] = {}
+        self._axis_names: dict[str, tuple[str, str, str]] = {}
+        self._neg_ez = np.array([0.0, 0.0, -1.0])
+        self._expected = np.zeros(3)
+        self._measured = np.zeros(3)
+        self._err = np.zeros(3)
 
     # ------------------------------------------------------------------
     # Prediction
@@ -149,8 +211,10 @@ class Ekf:
         if dt <= 0.0:
             raise ValueError("dt must be positive")
         p = self.params
-        omega = imu.gyro - self.gyro_bias
-        accel = imu.accel - self.accel_bias
+        omega = self._omega
+        accel = self._accel
+        np.subtract(imu.gyro, self.gyro_bias, out=omega)
+        np.subtract(imu.accel, self.accel_bias, out=accel)
         self.rate_body = omega
 
         # Flatline detection: with the gyro stream dead (zeros or frozen)
@@ -159,39 +223,84 @@ class Ekf:
         # covariance lets GPS-velocity innovations correct the attitude
         # through the velocity/attitude cross-covariance — without this,
         # the filter keeps trusting a sensor that has stopped reporting.
-        if self._last_raw_gyro is not None and np.array_equal(imu.gyro, self._last_raw_gyro):
+        g0 = imu.gyro[0]
+        g1 = imu.gyro[1]
+        g2 = imu.gyro[2]
+        if self._have_lg and g0 == self._lg0 and g1 == self._lg1 and g2 == self._lg2:
             self._gyro_flatline_count += 1
         else:
             self._gyro_flatline_count = 0
-        self._last_raw_gyro = imu.gyro.copy()
+        self._lg0 = g0
+        self._lg1 = g1
+        self._lg2 = g2
+        self._have_lg = True
         gyro_noise = p.gyro_noise if self._gyro_flatline_count < 20 else 0.8
 
-        if self._last_raw_accel is not None and np.array_equal(imu.accel, self._last_raw_accel):
+        a0 = imu.accel[0]
+        a1 = imu.accel[1]
+        a2 = imu.accel[2]
+        if self._have_la and a0 == self._la0 and a1 == self._la1 and a2 == self._la2:
             self._accel_flatline_count += 1
         else:
             self._accel_flatline_count = 0
-        self._last_raw_accel = imu.accel.copy()
+        self._la0 = a0
+        self._la1 = a1
+        self._la2 = a2
+        self._have_la = True
         if self._gyro_flatline_count >= 50 and self._accel_flatline_count >= 50:
             self.imu_stale_latched = True
 
-        rot = quat_to_rotation_matrix(self.quaternion)
-        accel_world = rot @ accel + self._gravity_ned
+        rot = self._rot
+        quat_to_rotation_matrix_into(self.quaternion, rot)
+        accel_world = self._accel_world
+        np.matmul(rot, accel, out=accel_world)
+        accel_world += self._gravity_ned
 
-        # Nominal propagation.
-        self.position_ned = self.position_ned + self.velocity_ned * dt + 0.5 * accel_world * dt * dt
-        self.velocity_ned = self.velocity_ned + accel_world * dt
-        self.quaternion = quat_integrate(self.quaternion, omega, dt)
+        # Nominal propagation: `p + v dt + 0.5 a dt^2` and `v + a dt`,
+        # scalarised with the exact grouping of the vector originals.
+        pos = self.position_ned
+        vel = self.velocity_ned
+        pos[0] = pos[0] + vel[0] * dt + 0.5 * accel_world[0] * dt * dt
+        pos[1] = pos[1] + vel[1] * dt + 0.5 * accel_world[1] * dt * dt
+        pos[2] = pos[2] + vel[2] * dt + 0.5 * accel_world[2] * dt * dt
+        vel[0] = vel[0] + accel_world[0] * dt
+        vel[1] = vel[1] + accel_world[1] * dt
+        vel[2] = vel[2] + accel_world[2] * dt
+        quat_integrate_into(self.quaternion, omega, dt, out=self.quaternion)
 
         # Covariance propagation: Phi = I + F dt (adequate at IMU rate).
-        phi = np.eye(15)
-        phi[_TH, _TH] -= skew(omega) * dt
-        phi[_TH, _BG] = -np.eye(3) * dt
-        phi[_V, _TH] = -rot @ skew(accel) * dt
-        phi[_V, _BA] = -rot * dt
-        phi[_P, _V] = np.eye(3) * dt
+        phi = self._phi
+        np.copyto(phi, self._eye15)
+        s33 = self._skew
+        s33[0, 1] = -omega[2]
+        s33[0, 2] = omega[1]
+        s33[1, 0] = omega[2]
+        s33[1, 2] = -omega[0]
+        s33[2, 0] = -omega[1]
+        s33[2, 1] = omega[0]
+        np.multiply(s33, dt, out=self._t33)
+        phi[0:3, 0:3] -= self._t33
+        np.multiply(self._neg_eye3, dt, out=self._t33)
+        phi[0:3, 9:12] = self._t33
+        s33[0, 1] = -accel[2]
+        s33[0, 2] = accel[1]
+        s33[1, 0] = accel[2]
+        s33[1, 2] = -accel[0]
+        s33[2, 0] = -accel[1]
+        s33[2, 1] = accel[0]
+        np.negative(rot, out=self._neg_rot)
+        np.matmul(self._neg_rot, s33, out=self._t33b)
+        np.multiply(self._t33b, dt, out=self._t33b)
+        phi[3:6, 0:3] = self._t33b
+        np.multiply(rot, dt, out=self._t33)
+        np.negative(self._t33, out=self._t33)
+        phi[3:6, 12:15] = self._t33
+        np.multiply(self._I3, dt, out=self._t33)
+        phi[6:9, 3:6] = self._t33
 
-        self.covariance = phi @ self.covariance @ phi.T
-        diag = self.covariance.ravel()[:: 16]
+        np.matmul(phi, self.covariance, out=self._cov_tmp)
+        np.matmul(self._cov_tmp, phi.T, out=self.covariance)
+        diag = self._diag
         diag[_TH] += (gyro_noise**2) * dt
         diag[_V] += (p.accel_noise**2) * dt
         diag[_BG] += (p.gyro_bias_walk**2) * dt
@@ -218,35 +327,32 @@ class Ekf:
                 self._reset_block(_P, fix.position_ned, 4.0, "gps_pos")
 
         p = self.params
-        pos_var = np.array(
-            [
-                fix.horizontal_accuracy_m**2,
-                fix.horizontal_accuracy_m**2,
-                fix.vertical_accuracy_m**2,
-            ]
-        )
-        innov_p = fix.position_ned - self.position_ned
-        self._vector_update(innov_p, _P, pos_var, p.gps_pos_gate, "gps_pos")
+        pos_var = self._pos_var
+        pos_var[0] = fix.horizontal_accuracy_m**2
+        pos_var[1] = fix.horizontal_accuracy_m**2
+        pos_var[2] = fix.vertical_accuracy_m**2
+        innov = self._innov3
+        np.subtract(fix.position_ned, self.position_ned, out=innov)
+        self._vector_update(innov, _P, pos_var, p.gps_pos_gate, "gps_pos")
 
-        vel_var = np.full(3, 0.15**2)
-        innov_v = fix.velocity_ned - self.velocity_ned
-        self._vector_update(innov_v, _V, vel_var, p.gps_vel_gate, "gps_vel")
+        np.subtract(fix.velocity_ned, self.velocity_ned, out=innov)
+        self._vector_update(innov, _V, self._vel_var, p.gps_vel_gate, "gps_vel")
 
     def update_baro(self, altitude_m: float) -> None:
         """Apply barometric height aiding (altitude positive up)."""
         innov = altitude_m - (-self.position_ned[2])
-        h = np.zeros(15)
-        h[8] = -1.0  # d(alt)/d(p_down)
-        self._scalar_update(innov, h, self.params.baro_noise_m**2, self.params.baro_gate, "baro")
+        self._scalar_update(
+            innov, self._h_baro, self.params.baro_noise_m**2, self.params.baro_gate, "baro"
+        )
 
     def update_mag_yaw(self, yaw_meas_rad: float) -> None:
         """Apply magnetometer yaw aiding."""
         yaw_est = quat_to_euler(self.quaternion)[2]
         innov = wrap_angle(yaw_meas_rad - yaw_est)
-        rot = quat_to_rotation_matrix(self.quaternion)
-        h = np.zeros(15)
+        rot = quat_to_rotation_matrix_into(self.quaternion, self._rot)
+        h = self._h_mag
         # Small body-frame attitude errors map to world-frame errors via R;
-        # yaw error is the world-z component.
+        # yaw error is the world-z component. Entries outside [0:3] stay 0.
         h[_TH] = rot[2, :]
         self._scalar_update(innov, h, self.params.mag_noise_rad**2, self.params.mag_gate, "mag")
 
@@ -269,24 +375,34 @@ class Ekf:
         quasi-static check keeps it out of the loop.
         """
         g = self._gravity_ned[2]
-        norm = float(np.linalg.norm(accel_body))
-        quasi_static = abs(norm - g) <= 0.12 * g and float(np.linalg.norm(gyro_body)) <= 0.25
+        # math.sqrt(float(v @ v)) == np.linalg.norm(v) bit-for-bit (same
+        # BLAS dot) without the linalg wrapper cost; used on every hot
+        # norm in the loop.
+        norm = math.sqrt(float(accel_body @ accel_body))
+        quasi_static = (
+            abs(norm - g) <= 0.12 * g and math.sqrt(float(gyro_body @ gyro_body)) <= 0.25
+        )
         if not quasi_static:
             return
-        rot = quat_to_rotation_matrix(self.quaternion)
-        expected = rot.T @ np.array([0.0, 0.0, -1.0])
-        measured = accel_body / norm
+        rot = quat_to_rotation_matrix_into(self.quaternion, self._rot)
+        expected = self._expected
+        np.matmul(rot.T, self._neg_ez, out=expected)
+        measured = self._measured
+        np.divide(accel_body, norm, out=measured)
         # Small-angle attitude error (body frame); z component excluded —
         # gravity says nothing about yaw.
-        err = np.cross(measured, expected)
+        err = self._err
+        err[0] = measured[1] * expected[2] - measured[2] * expected[1]
+        err[1] = measured[2] * expected[0] - measured[0] * expected[2]
         err[2] = 0.0
-        err_norm = float(np.linalg.norm(err))
+        err_norm = math.sqrt(float(err @ err))
         self.monitor.record("grav", self.time_s, err_norm, True)
         if err_norm < 1e-9:
             return
         angle = self.GRAVITY_AIDING_GAIN * dt * err_norm
-        dq = quat_from_axis_angle(err, min(angle, 0.3))
-        self.quaternion = quat_normalize(quat_multiply(self.quaternion, dq))
+        quat_from_axis_angle_into(err, min(angle, 0.3), self._dq4)
+        quat_multiply_into(self.quaternion, self._dq4, self.quaternion)
+        quat_normalize_into(self.quaternion, self.quaternion)
 
     # ------------------------------------------------------------------
     # Sensor switchover
@@ -309,13 +425,15 @@ class Ekf:
             self.covariance[block, :] = 0.0
             self.covariance[:, block] = 0.0
             diag[block] = variance
-        self.gyro_bias = np.zeros(3)
-        self.accel_bias = np.zeros(3)
+        self.gyro_bias[:] = 0.0
+        self.accel_bias[:] = 0.0
         diag[_TH] += 0.02
         diag[_V] += 0.25
         self.monitor.reset_all_windows()
+        self._have_lg = False
         self._last_raw_gyro = None
         self._gyro_flatline_count = 0
+        self._have_la = False
         self._last_raw_accel = None
         self._accel_flatline_count = 0
         self.imu_stale_latched = False
@@ -348,18 +466,26 @@ class Ekf:
     ) -> None:
         """Sequential per-axis scalar updates for a direct-observation block."""
         start = block.start
+        names = self._axis_names.get(name)
+        if names is None:
+            names = (f"{name}_0", f"{name}_1", f"{name}_2")
+            self._axis_names[name] = names
         for axis in range(3):
-            h = np.zeros(15)
-            h[start + axis] = 1.0
+            h = self._unit_h.get(start + axis)
+            if h is None:
+                h = np.zeros(15)
+                h[start + axis] = 1.0
+                self._unit_h[start + axis] = h
             self._scalar_update(
-                float(innovation[axis]), h, float(meas_var[axis]), gate, f"{name}_{axis}"
+                float(innovation[axis]), h, float(meas_var[axis]), gate, names[axis]
             )
 
     def _scalar_update(
         self, innovation: float, h: np.ndarray, meas_var: float, gate: float, name: str
     ) -> None:
         """One gated scalar Kalman update."""
-        ph = self.covariance @ h
+        ph = self._ph
+        np.matmul(self.covariance, h, out=ph)
         # Covariance is PSD and meas_var > 0, but a fault window can
         # collapse both toward zero; the floor keeps the gain finite.
         s = max(float(h @ ph) + meas_var, 1e-12)
@@ -368,25 +494,32 @@ class Ekf:
         self.monitor.record(name, self.time_s, test_ratio, accepted)
         if not accepted:
             return
-        k = ph / s
-        self._inject_error(k * innovation)
-        # Joseph-lite: symmetric covariance decrement.
-        self.covariance = self.covariance - np.outer(k, ph)
-        self.covariance = 0.5 * (self.covariance + self.covariance.T)
+        k = self._k
+        np.divide(ph, s, out=k)
+        np.multiply(k, innovation, out=self._dx)
+        self._inject_error(self._dx)
+        # Joseph-lite: symmetric covariance decrement, written in place
+        # (`k[:, None] * ph` is bit-identical to `np.outer(k, ph)`).
+        np.multiply(k[:, None], ph, out=self._outer)
+        np.subtract(self.covariance, self._outer, out=self.covariance)
+        np.add(self.covariance, self.covariance.T, out=self._sym)
+        np.multiply(self._sym, 0.5, out=self.covariance)
 
     def _inject_error(self, dx: np.ndarray) -> None:
         """Fold an error-state correction into the nominal state."""
         p = self.params
-        dq = quat_from_axis_angle(dx[_TH], float(np.linalg.norm(dx[_TH])))
-        self.quaternion = quat_normalize(quat_multiply(self.quaternion, dq))
-        self.velocity_ned = self.velocity_ned + dx[_V]
-        self.position_ned = self.position_ned + dx[_P]
-        self.gyro_bias = np.clip(
-            self.gyro_bias + dx[_BG], -p.gyro_bias_limit, p.gyro_bias_limit
-        )
-        self.accel_bias = np.clip(
-            self.accel_bias + dx[_BA], -p.accel_bias_limit, p.accel_bias_limit
-        )
+        th = dx[_TH]
+        quat_from_axis_angle_into(th, math.sqrt(float(th @ th)), self._dq4)
+        quat_multiply_into(self.quaternion, self._dq4, self.quaternion)
+        quat_normalize_into(self.quaternion, self.quaternion)
+        self.velocity_ned += dx[_V]
+        self.position_ned += dx[_P]
+        np.add(self.gyro_bias, dx[_BG], out=self._bias_tmp)
+        np.maximum(self._bias_tmp, -p.gyro_bias_limit, out=self.gyro_bias)
+        np.minimum(self.gyro_bias, p.gyro_bias_limit, out=self.gyro_bias)
+        np.add(self.accel_bias, dx[_BA], out=self._bias_tmp)
+        np.maximum(self._bias_tmp, -p.accel_bias_limit, out=self.accel_bias)
+        np.minimum(self.accel_bias, p.accel_bias_limit, out=self.accel_bias)
 
     # ------------------------------------------------------------------
     # Accessors

@@ -44,12 +44,19 @@ class ChannelHealth:
         # Re-bound whatever deque we were given so window_size is the
         # single source of truth (a plain default deque is unbounded).
         self.recent = deque(self.recent, maxlen=self.window_size)
+        # Incrementally maintained accept count: `failed` is polled every
+        # tick per channel, so summing the window there is O(n) wasted.
+        self._accepted = sum(self.recent)
+        self._min_fill = max(1, round(self.FAILED_MIN_FILL * self.window_size))
 
     def record(self, test_ratio: float, accepted: bool) -> None:
         self.last_test_ratio = test_ratio
         self.peak_test_ratio = max(self.peak_test_ratio, test_ratio)
         self.total_updates += 1
+        if len(self.recent) == self.window_size:
+            self._accepted -= self.recent[0]  # evicted by the append below
         self.recent.append(accepted)
+        self._accepted += accepted
         if accepted:
             self.consecutive_rejections = 0
         else:
@@ -61,17 +68,17 @@ class ChannelHealth:
         """Share of rejected updates in the rolling window."""
         if not self.recent:
             return 0.0
-        return 1.0 - sum(self.recent) / len(self.recent)
+        return 1.0 - self._accepted / len(self.recent)
 
     @property
     def failed(self) -> bool:
         """Sustained, near-total rejection in the rolling window."""
-        min_fill = max(1, round(self.FAILED_MIN_FILL * self.window_size))
-        return len(self.recent) >= min_fill and self.rejection_fraction >= 0.8
+        return len(self.recent) >= self._min_fill and self.rejection_fraction >= 0.8
 
     def reset_window(self) -> None:
         """Forget the rolling history (e.g. after a sensor switchover)."""
         self.recent.clear()
+        self._accepted = 0
         self.consecutive_rejections = 0
 
 
@@ -85,6 +92,11 @@ class InnovationMonitor:
 
     def __init__(self) -> None:
         self.channels: dict[str, ChannelHealth] = defaultdict(ChannelHealth)
+        # Prefix -> member list, rebuilt whenever a channel appears. The
+        # channel set grows monotonically (defaultdict, never deleted),
+        # so a count check is a complete invalidation test.
+        self._groups: dict[str, list[ChannelHealth]] = {}
+        self._cached_count = 0
 
     def record(self, channel: str, time_s: float, test_ratio: float, accepted: bool) -> None:
         """Record one innovation decision."""
@@ -94,30 +106,35 @@ class InnovationMonitor:
         """True when a channel's rolling window shows sustained rejection."""
         return self.channels[channel].failed
 
+    def _group(self, prefix: str) -> list[ChannelHealth]:
+        if len(self.channels) != self._cached_count:
+            self._groups.clear()
+            self._cached_count = len(self.channels)
+        group = self._groups.get(prefix)
+        if group is None:
+            group = [
+                health
+                for name, health in self.channels.items()
+                if name == prefix or name.startswith(prefix + "_")
+            ]
+            self._groups[prefix] = group
+        return group
+
     def group_failed(self, prefix: str) -> bool:
         """True when any channel named ``prefix`` or ``prefix_*`` failed."""
-        return any(
-            health.failed
-            for name, health in self.channels.items()
-            if name == prefix or name.startswith(prefix + "_")
-        )
+        return any(health.failed for health in self._group(prefix))
 
     def group_max_consecutive(self, prefix: str) -> int:
         """Largest per-axis rejection streak in a channel group."""
         return max(
-            (
-                health.consecutive_rejections
-                for name, health in self.channels.items()
-                if name == prefix or name.startswith(prefix + "_")
-            ),
+            (health.consecutive_rejections for health in self._group(prefix)),
             default=0,
         )
 
     def clear_group_streaks(self, prefix: str) -> None:
         """Reset rejection streaks after a state reset (windows persist)."""
-        for name, health in self.channels.items():
-            if name == prefix or name.startswith(prefix + "_"):
-                health.consecutive_rejections = 0
+        for health in self._group(prefix):
+            health.consecutive_rejections = 0
 
     def reset_all_windows(self) -> None:
         """Forget every channel's rolling history.
@@ -139,7 +156,7 @@ class InnovationMonitor:
         return self.channels[channel].last_test_ratio
 
 
-@dataclass
+@dataclass(slots=True)
 class EstimatorHealth:
     """Snapshot of estimator health consumed by the failsafe engine."""
 

@@ -41,7 +41,7 @@ class MissionOutcome(enum.Enum):
     TIMEOUT = "timeout"
 
 
-@dataclass
+@dataclass(slots=True)
 class CommanderOutput:
     """Setpoints handed to the position controller this cycle."""
 
@@ -75,6 +75,27 @@ class Commander:
             self.params.mission_timeout_min_s,
             plan.estimated_duration_s() * self.params.mission_timeout_factor,
         )
+        # Phase targets are mission constants; build them once instead of
+        # reallocating every cycle. Outputs are shared read-only arrays.
+        home = plan.home_ned
+        self._takeoff_target = np.array([home[0], home[1], -plan.cruise_altitude_m])
+        self._takeoff_ff = np.array([0.0, 0.0, -self.params.takeoff_speed_m_s])
+        land = plan.landing_ned
+        self._landing_target = np.array([land[0], land[1], 0.5])
+        self._landing_ff = np.array([0.0, 0.0, self.params.landing_speed_m_s])
+        self._failsafe_target: np.ndarray | None = None
+        self._fs_ff = np.array([0.0, 0.0, self.params.fs_descent_speed_m_s])
+        self._idle_pos = np.zeros(3)
+        self._zero3 = np.zeros(3)
+        self._handlers = {
+            FlightPhase.PREFLIGHT: self._run_preflight,
+            FlightPhase.TAKEOFF: self._run_takeoff,
+            FlightPhase.MISSION: self._run_mission,
+            FlightPhase.LANDING: self._run_landing,
+            FlightPhase.FAILSAFE_LAND: self._run_failsafe_land,
+            FlightPhase.LANDED: self._run_terminal,
+            FlightPhase.CRASHED: self._run_terminal,
+        }
 
     # ------------------------------------------------------------------
 
@@ -132,22 +153,16 @@ class Commander:
         ):
             self.phase = FlightPhase.FAILSAFE_LAND
             self._failsafe_hold_xy = position_est_ned[:2].copy()
+            self._failsafe_target = np.array(
+                [self._failsafe_hold_xy[0], self._failsafe_hold_xy[1], 0.5]
+            )
 
         if time_s - (self.takeoff_time_s or 0.0) > self._timeout_s:
             self.outcome = MissionOutcome.TIMEOUT
             self.end_time_s = time_s
             return self._idle_output(position_est_ned)
 
-        handler = {
-            FlightPhase.PREFLIGHT: self._run_preflight,
-            FlightPhase.TAKEOFF: self._run_takeoff,
-            FlightPhase.MISSION: self._run_mission,
-            FlightPhase.LANDING: self._run_landing,
-            FlightPhase.FAILSAFE_LAND: self._run_failsafe_land,
-            FlightPhase.LANDED: self._run_terminal,
-            FlightPhase.CRASHED: self._run_terminal,
-        }[self.phase]
-        return handler(time_s, position_est_ned, on_ground)
+        return self._handlers[self.phase](time_s, position_est_ned, on_ground)
 
     # ------------------------------------------------------------------
     # Phase handlers
@@ -161,13 +176,11 @@ class Commander:
     def _run_takeoff(
         self, time_s: float, position: np.ndarray, on_ground: bool
     ) -> CommanderOutput:
-        home = self.plan.home_ned
-        target = np.array([home[0], home[1], -self.plan.cruise_altitude_m])
+        target = self._takeoff_target
         if abs(position[2] - target[2]) < self.params.takeoff_accept_m:
             self.phase = FlightPhase.MISSION
             return self._run_mission(time_s, position, on_ground)
-        ff = np.array([0.0, 0.0, -self.params.takeoff_speed_m_s])
-        return CommanderOutput(target, ff, self._yaw_hold, 2.0)
+        return CommanderOutput(target, self._takeoff_ff, self._yaw_hold, 2.0)
 
     def _run_mission(
         self, time_s: float, position: np.ndarray, on_ground: bool
@@ -184,28 +197,24 @@ class Commander:
     def _run_landing(
         self, time_s: float, position: np.ndarray, on_ground: bool
     ) -> CommanderOutput:
-        land = self.plan.landing_ned
-        target = np.array([land[0], land[1], 0.5])  # drive slightly below ground
-        ff = np.array([0.0, 0.0, self.params.landing_speed_m_s])
         if self._ground_dwell(time_s, on_ground):
             self.phase = FlightPhase.LANDED
             self.outcome = MissionOutcome.COMPLETED
             self.end_time_s = time_s
             return self._idle_output(position)
-        return CommanderOutput(target, ff, self._yaw_hold, 1.5)
+        # Target sits slightly below ground to keep descending onto it.
+        return CommanderOutput(self._landing_target, self._landing_ff, self._yaw_hold, 1.5)
 
     def _run_failsafe_land(
         self, time_s: float, position: np.ndarray, on_ground: bool
     ) -> CommanderOutput:
-        assert self._failsafe_hold_xy is not None
-        target = np.array([self._failsafe_hold_xy[0], self._failsafe_hold_xy[1], 0.5])
-        ff = np.array([0.0, 0.0, self.params.fs_descent_speed_m_s])
+        assert self._failsafe_target is not None
         if self._ground_dwell(time_s, on_ground):
             self.phase = FlightPhase.LANDED
             self.outcome = MissionOutcome.FAILSAFE
             self.end_time_s = time_s
             return self._idle_output(position)
-        return CommanderOutput(target, ff, self._yaw_hold, 2.0)
+        return CommanderOutput(self._failsafe_target, self._fs_ff, self._yaw_hold, 2.0)
 
     def _run_terminal(
         self, time_s: float, position: np.ndarray, on_ground: bool
@@ -230,9 +239,10 @@ class Commander:
         return time_s - self._ground_since >= self.params.disarm_ground_time_s
 
     def _idle_output(self, position: np.ndarray) -> CommanderOutput:
+        np.copyto(self._idle_pos, position)
         return CommanderOutput(
-            position_sp_ned=position.copy(),
-            velocity_ff_ned=np.zeros(3),
+            position_sp_ned=self._idle_pos,
+            velocity_ff_ned=self._zero3,
             yaw_sp_rad=self._yaw_hold,
             cruise_speed_m_s=0.0,
             thrust_idle=True,

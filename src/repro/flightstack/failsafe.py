@@ -61,7 +61,7 @@ class IsolationOutcome(enum.Enum):
     EXHAUSTED = "exhausted"
 
 
-@dataclass
+@dataclass(slots=True)
 class FailsafeStatus:
     """Snapshot of the engine for logging and outcome classification."""
 

@@ -10,7 +10,7 @@ import numpy as np
 from repro.missions.plan import MissionPlan
 
 
-@dataclass
+@dataclass(slots=True)
 class NavigatorOutput:
     """Guidance produced each cycle for the position controller."""
 
@@ -38,6 +38,21 @@ class Navigator:
         second = plan.waypoints[1].array
         self._yaw_sp = math.atan2(second[1] - first[1], second[0] - first[0])
         self._done = False
+        # Remaining route length after each waypoint, precomputed with
+        # the same per-index forward summation as `_distance_after` (the
+        # sums are independent per index, so values are bit-identical —
+        # a shared suffix-sum would reassociate the adds and drift).
+        self._dist_after = [self._distance_after(i) for i in range(len(plan.waypoints))]
+        # Hot-loop work buffers; `update` returns buffers or cached
+        # waypoint arrays without copying — treat outputs as read-only.
+        self._zero3 = np.zeros(3)
+        self._prev0 = np.zeros(3)
+        self._leg = np.zeros(3)
+        self._tt = np.zeros(3)
+        self._rel = np.zeros(3)
+        self._dir = np.zeros(3)
+        self._carrot = np.zeros(3)
+        self._ff = np.zeros(3)
 
     @property
     def active_index(self) -> int:
@@ -61,7 +76,7 @@ class Navigator:
 
         if self._done:
             target = waypoints[-1].array
-            return NavigatorOutput(target, np.zeros(3), self._yaw_sp, speed)
+            return NavigatorOutput(target, self._zero3, self._yaw_sp, speed)
 
         target_wp = waypoints[self._index]
         target = target_wp.array
@@ -69,36 +84,48 @@ class Navigator:
             prev = waypoints[self._index - 1].array
         else:
             # First leg starts wherever the vehicle is (top of climb).
-            prev = position_ned.copy()
+            np.copyto(self._prev0, position_ned)
+            prev = self._prev0
 
-        leg = target - prev
-        leg_len = float(np.linalg.norm(leg))
-        to_target = target - position_ned
-        dist_to_target = float(np.linalg.norm(to_target))
+        leg = self._leg
+        np.subtract(target, prev, out=leg)
+        # math.sqrt(float(v @ v)) == np.linalg.norm(v) bit-for-bit (same
+        # BLAS dot), minus the linalg wrapper cost.
+        leg_len = math.sqrt(float(leg @ leg))
+        np.subtract(target, position_ned, out=self._tt)
+        dist_to_target = math.sqrt(float(self._tt @ self._tt))
 
         # Waypoint acceptance: close enough, or overshot the leg end.
-        overshot = leg_len > 1e-6 and float((position_ned - target) @ leg) > 0.0
+        if leg_len > 1e-6:
+            np.subtract(position_ned, target, out=self._rel)
+            overshot = float(self._rel @ leg) > 0.0
+        else:
+            overshot = False
         if dist_to_target <= target_wp.acceptance_radius_m or overshot:
             if self._index + 1 < len(waypoints):
                 self._index += 1
                 target_wp = waypoints[self._index]
                 prev = waypoints[self._index - 1].array
                 target = target_wp.array
-                leg = target - prev
-                leg_len = float(np.linalg.norm(leg))
+                np.subtract(target, prev, out=leg)
+                leg_len = math.sqrt(float(leg @ leg))
             else:
                 self._done = True
-                return NavigatorOutput(target, np.zeros(3), self._yaw_sp, speed)
+                return NavigatorOutput(target, self._zero3, self._yaw_sp, speed)
 
         if leg_len < 1e-6:
             carrot = target
-            direction = np.zeros(3)
+            direction = self._zero3
         else:
-            direction = leg / leg_len
-            along = float((position_ned - prev) @ direction)
+            direction = self._dir
+            np.divide(leg, leg_len, out=direction)
+            np.subtract(position_ned, prev, out=self._rel)
+            along = float(self._rel @ direction)
             lookahead = max(2.0, speed * self.lookahead_s)
             carrot_dist = min(leg_len, along + lookahead)
-            carrot = prev + direction * max(0.0, carrot_dist)
+            carrot = self._carrot
+            np.multiply(direction, max(0.0, carrot_dist), out=carrot)
+            carrot += prev
 
         # Yaw follows the track only when the leg is meaningfully
         # horizontal; on (near-)vertical legs the horizontal component is
@@ -109,11 +136,11 @@ class Navigator:
 
         # Decelerate on final approach so the landing transition does not
         # demand a violent braking manoeuvre.
-        remaining = float(np.linalg.norm(target - position_ned)) + self._distance_after(
-            self._index
-        )
+        np.subtract(target, position_ned, out=self._tt)
+        remaining = math.sqrt(float(self._tt @ self._tt)) + self._dist_after[self._index]
         speed = min(speed, max(1.0, 0.6 * remaining))
-        velocity_ff = direction * speed
+        velocity_ff = self._ff
+        np.multiply(direction, speed, out=velocity_ff)
         return NavigatorOutput(carrot, velocity_ff, self._yaw_sp, speed)
 
     def _distance_after(self, index: int) -> float:

@@ -26,6 +26,14 @@ from repro.mathutils.quaternion import (
     quat_integrate,
     quat_angle_between,
     quat_slerp,
+    quat_normalize_into,
+    quat_multiply_into,
+    quat_conjugate_into,
+    quat_rotate_into,
+    quat_from_axis_angle_into,
+    quat_to_rotation_matrix_into,
+    quat_from_rotation_matrix_into,
+    quat_integrate_into,
 )
 from repro.mathutils.rotations import (
     rotation_x,
@@ -55,6 +63,14 @@ __all__ = [
     "quat_integrate",
     "quat_angle_between",
     "quat_slerp",
+    "quat_normalize_into",
+    "quat_multiply_into",
+    "quat_conjugate_into",
+    "quat_rotate_into",
+    "quat_from_axis_angle_into",
+    "quat_to_rotation_matrix_into",
+    "quat_from_rotation_matrix_into",
+    "quat_integrate_into",
     "rotation_x",
     "rotation_y",
     "rotation_z",

@@ -5,6 +5,13 @@ and represent body-to-world rotations (see :mod:`repro.mathutils`). Keeping
 them as raw arrays instead of a class keeps the EKF and simulator inner
 loops allocation-light; all functions return new arrays and never mutate
 their inputs.
+
+The ``*_into`` variants at the bottom of the module are the hot-loop
+forms: they write into a caller-owned ``out`` buffer instead of
+allocating, but are required (and tested, see
+``tests/test_property_inplace_math.py``) to produce bit-identical
+results to their allocating counterparts — same operations, same
+order, same rounding.
 """
 
 from __future__ import annotations
@@ -232,3 +239,166 @@ def quat_slerp(q1: np.ndarray, q2: np.ndarray, t: float) -> np.ndarray:
     a = math.sin((1.0 - t) * theta) / sin_theta  # reprolint: disable=NUM002
     b = math.sin(t * theta) / sin_theta  # reprolint: disable=NUM002
     return quat_normalize(a * q1 + b * q2)
+
+
+# ---------------------------------------------------------------------------
+# In-place variants for preallocated hot-loop buffers.
+#
+# Each mirrors the allocating function above operation-for-operation so the
+# results are bit-identical (dot products stay as array dots — scalarising
+# them would change rounding under BLAS FMA). ``out`` may alias the inputs
+# unless noted: every scalar is read before anything is written.
+# ---------------------------------------------------------------------------
+
+
+def quat_normalize_into(q: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """In-place :func:`quat_normalize`; ``out`` may alias ``q``."""
+    norm = math.sqrt(float(q @ q))
+    if norm < _EPS:
+        out[0] = 1.0
+        out[1] = 0.0
+        out[2] = 0.0
+        out[3] = 0.0
+        return out
+    np.divide(q, norm, out=out)
+    return out
+
+
+def quat_multiply_into(q1: np.ndarray, q2: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """In-place :func:`quat_multiply`; ``out`` may alias either input."""
+    w1, x1, y1, z1 = q1
+    w2, x2, y2, z2 = q2
+    w = w1 * w2 - x1 * x2 - y1 * y2 - z1 * z2
+    x = w1 * x2 + x1 * w2 + y1 * z2 - z1 * y2
+    y = w1 * y2 - x1 * z2 + y1 * w2 + z1 * x2
+    z = w1 * z2 + x1 * y2 - y1 * x2 + z1 * w2
+    out[0] = w
+    out[1] = x
+    out[2] = y
+    out[3] = z
+    return out
+
+
+def quat_conjugate_into(q: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """In-place :func:`quat_conjugate`; ``out`` may alias ``q``."""
+    out[0] = q[0]
+    out[1] = -q[1]
+    out[2] = -q[2]
+    out[3] = -q[3]
+    return out
+
+
+def quat_rotate_into(q: np.ndarray, v: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """In-place :func:`quat_rotate`; ``out`` may alias ``v``."""
+    w, x, y, z = q
+    vx, vy, vz = v
+    tx = 2.0 * (y * vz - z * vy)
+    ty = 2.0 * (z * vx - x * vz)
+    tz = 2.0 * (x * vy - y * vx)
+    out[0] = vx + w * tx + (y * tz - z * ty)
+    out[1] = vy + w * ty + (z * tx - x * tz)
+    out[2] = vz + w * tz + (x * ty - y * tx)
+    return out
+
+
+def quat_from_axis_angle_into(
+    axis: np.ndarray, angle: float, out: np.ndarray
+) -> np.ndarray:
+    """In-place :func:`quat_from_axis_angle`. ``out`` must not alias ``axis``."""
+    norm = math.sqrt(float(axis @ axis))
+    if norm < _EPS or abs(angle) < _EPS:
+        out[0] = 1.0
+        out[1] = 0.0
+        out[2] = 0.0
+        out[3] = 0.0
+        return out
+    half = 0.5 * angle
+    s = math.sin(half) / norm
+    out[0] = math.cos(half)
+    out[1] = axis[0] * s
+    out[2] = axis[1] * s
+    out[3] = axis[2] * s
+    return out
+
+
+def quat_to_rotation_matrix_into(q: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """In-place :func:`quat_to_rotation_matrix` (``out`` is 3x3)."""
+    norm = math.sqrt(float(q @ q))
+    if norm < _EPS:
+        w, x, y, z = 1.0, 0.0, 0.0, 0.0
+    else:
+        w = q[0] / norm
+        x = q[1] / norm
+        y = q[2] / norm
+        z = q[3] / norm
+    out[0, 0] = 1 - 2 * (y * y + z * z)
+    out[0, 1] = 2 * (x * y - w * z)
+    out[0, 2] = 2 * (x * z + w * y)
+    out[1, 0] = 2 * (x * y + w * z)
+    out[1, 1] = 1 - 2 * (x * x + z * z)
+    out[1, 2] = 2 * (y * z - w * x)
+    out[2, 0] = 2 * (x * z - w * y)
+    out[2, 1] = 2 * (y * z + w * x)
+    out[2, 2] = 1 - 2 * (x * x + y * y)
+    return out
+
+
+def quat_from_rotation_matrix_into(rot: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """In-place :func:`quat_from_rotation_matrix`."""
+    trace = rot[0, 0] + rot[1, 1] + rot[2, 2]
+    if trace > 0.0:
+        s = max(math.sqrt(trace + 1.0) * 2.0, _EPS)
+        out[0] = 0.25 * s
+        out[1] = (rot[2, 1] - rot[1, 2]) / s
+        out[2] = (rot[0, 2] - rot[2, 0]) / s
+        out[3] = (rot[1, 0] - rot[0, 1]) / s
+        return quat_normalize_into(out, out)
+    if rot[0, 0] > rot[1, 1] and rot[0, 0] > rot[2, 2]:
+        s = max(math.sqrt(1.0 + rot[0, 0] - rot[1, 1] - rot[2, 2]) * 2.0, _EPS)
+        out[0] = (rot[2, 1] - rot[1, 2]) / s
+        out[1] = 0.25 * s
+        out[2] = (rot[0, 1] + rot[1, 0]) / s
+        out[3] = (rot[0, 2] + rot[2, 0]) / s
+    elif rot[1, 1] > rot[2, 2]:
+        s = max(math.sqrt(1.0 + rot[1, 1] - rot[0, 0] - rot[2, 2]) * 2.0, _EPS)
+        out[0] = (rot[0, 2] - rot[2, 0]) / s
+        out[1] = (rot[0, 1] + rot[1, 0]) / s
+        out[2] = 0.25 * s
+        out[3] = (rot[1, 2] + rot[2, 1]) / s
+    else:
+        s = max(math.sqrt(1.0 + rot[2, 2] - rot[0, 0] - rot[1, 1]) * 2.0, _EPS)
+        out[0] = (rot[1, 0] - rot[0, 1]) / s
+        out[1] = (rot[0, 2] + rot[2, 0]) / s
+        out[2] = (rot[1, 2] + rot[2, 1]) / s
+        out[3] = 0.25 * s
+    return quat_normalize_into(out, out)
+
+
+def quat_integrate_into(
+    q: np.ndarray, omega_body: np.ndarray, dt: float, out: np.ndarray
+) -> np.ndarray:
+    """In-place :func:`quat_integrate`; ``out`` may alias ``q``."""
+    norm = math.sqrt(float(omega_body @ omega_body))
+    angle = norm * dt
+    if angle < _EPS:
+        dw = 1.0
+        dx = 0.5 * omega_body[0] * dt
+        dy = 0.5 * omega_body[1] * dt
+        dz = 0.5 * omega_body[2] * dt
+    elif norm < _EPS or abs(angle) < _EPS:
+        # quat_from_axis_angle's own degenerate guard (reachable only for
+        # pathological dt); keeps parity with the allocating path.
+        dw, dx, dy, dz = 1.0, 0.0, 0.0, 0.0
+    else:
+        half = 0.5 * angle
+        s = math.sin(half) / norm
+        dw = math.cos(half)
+        dx = omega_body[0] * s
+        dy = omega_body[1] * s
+        dz = omega_body[2] * s
+    w1, x1, y1, z1 = q
+    out[0] = w1 * dw - x1 * dx - y1 * dy - z1 * dz
+    out[1] = w1 * dx + x1 * dw + y1 * dz - z1 * dy
+    out[2] = w1 * dy - x1 * dz + y1 * dw + z1 * dx
+    out[3] = w1 * dz + x1 * dy - y1 * dx + z1 * dw
+    return quat_normalize_into(out, out)

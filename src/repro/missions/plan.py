@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass, field
 
@@ -21,8 +22,15 @@ class Waypoint:
     position_ned: tuple[float, float, float]
     acceptance_radius_m: float = 2.0
 
-    @property
+    @functools.cached_property
     def array(self) -> np.ndarray:
+        """Position as an ndarray, cached on first access.
+
+        The cache makes this a shared array: consumers must treat it as
+        read-only (the hot loop reads it every tick and never copies).
+        ``cached_property`` stores into ``__dict__`` directly, which is
+        legal on a frozen dataclass.
+        """
         return np.array(self.position_ned, dtype=float)
 
 
@@ -48,15 +56,21 @@ class MissionPlan:
         if self.cruise_altitude_m <= 0.0:
             raise ValueError("cruise_altitude_m must be positive")
 
-    @property
+    @functools.cached_property
     def home_ned(self) -> np.ndarray:
-        """Ground position below the first waypoint (NED, z = 0)."""
+        """Ground position below the first waypoint (NED, z = 0).
+
+        Cached and shared; treat as read-only.
+        """
         first = self.waypoints[0].array
         return np.array([first[0], first[1], 0.0])
 
-    @property
+    @functools.cached_property
     def landing_ned(self) -> np.ndarray:
-        """Ground position below the last waypoint (NED, z = 0)."""
+        """Ground position below the last waypoint (NED, z = 0).
+
+        Cached and shared; treat as read-only.
+        """
         last = self.waypoints[-1].array
         return np.array([last[0], last[1], 0.0])
 

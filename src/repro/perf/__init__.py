@@ -1,0 +1,26 @@
+"""Performance tooling: profiling entry point, bench emitter, and the
+bit-exactness harness (per-step trace fingerprints + the naive
+reference twin) that makes hot-loop optimisation safe.
+
+Everything here is harness-side tooling: it may use wall-clock time,
+but it never participates in simulation results — the differential
+tests in ``tests/test_differential_step.py`` and the golden traces in
+``tests/data/`` prove the optimised loop is bit-identical to the
+reference implementation.
+"""
+
+from repro.perf.reference import reference_twin
+from repro.perf.trace import (
+    GOLDEN_TRACE_SPECS,
+    build_trace_system,
+    run_traced,
+    step_fingerprint,
+)
+
+__all__ = [
+    "GOLDEN_TRACE_SPECS",
+    "build_trace_system",
+    "reference_twin",
+    "run_traced",
+    "step_fingerprint",
+]

@@ -1,0 +1,68 @@
+"""CLI: ``python -m repro.perf`` — profile the hot loop, emit bench JSON.
+
+Examples::
+
+    python -m repro.perf                      # full bench, writes BENCH_simulator.json
+    python -m repro.perf --quick              # CI smoke variant (~15 s)
+    python -m repro.perf --quick --check-against BENCH_simulator.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.perf.bench import check_regression, format_report, run_bench, write_report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Closed-loop simulator throughput bench and profile.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shorter warmup/timed sections (CI smoke; noisier numbers)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_simulator.json",
+        help="bench JSON path (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="print the report without writing the JSON",
+    )
+    parser.add_argument(
+        "--check-against",
+        metavar="BASELINE",
+        help="committed bench JSON to compare against; exits 1 on "
+        "throughput regression beyond --tolerance",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional throughput drop vs baseline (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_bench(quick=args.quick)
+    print(format_report(report))
+
+    if not args.no_write:
+        write_report(report, args.output)
+        print(f"wrote {args.output}")
+
+    if args.check_against:
+        ok, message = check_regression(report, args.check_against, args.tolerance)
+        print(message)
+        if not ok:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,770 @@
+"""The naive reference implementation of the hot loop, kept verbatim.
+
+Every method here is the pre-optimisation body of the corresponding
+production method, copied unchanged when the hot-loop performance pass
+landed. The production loop replaced per-step allocations with
+preallocated work buffers and in-place ufuncs; these classes are the
+oracle proving that rewrite changed **no output bit**:
+
+* ``tests/test_differential_step.py`` steps a production vehicle and
+  its :func:`reference_twin` in lockstep across every fault type and
+  target, asserting per-step state/EKF/actuator equality to the last
+  ULP;
+* ``python -m repro.perf`` times both to report the speedup.
+
+Do not "clean up" or optimise anything in this module — its value is
+exactly that it stays naive.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+
+import numpy as np
+
+from repro.control.attitude import AttitudeController
+from repro.control.attitude import _clamp as _att_clamp
+from repro.control.mixer import Mixer
+from repro.control.pid import Pid
+from repro.control.position import PositionController
+from repro.control.rate import RateController
+from repro.estimation.ekf import _BA, _BG, _P, _TH, _V, Ekf
+from repro.estimation.health import EstimatorHealth
+from repro.flightstack import FailsafeState, FlightPhase, IsolationOutcome
+from repro.flightstack.commander import Commander, CommanderOutput
+from repro.flightstack.navigator import Navigator, NavigatorOutput
+from repro.mathutils import (
+    clamp,
+    clamp_norm,
+    quat_conjugate,
+    quat_from_rotation_matrix,
+    quat_integrate,
+    quat_multiply,
+    quat_normalize,
+    quat_rotate,
+    quat_rotate_inverse,
+    quat_to_rotation_matrix,
+    skew,
+)
+from repro.sensors.imu import Imu, ImuSample
+from repro.sim.dynamics import _MAX_RATE_RAD_S, _MAX_SPEED_M_S, QuadrotorPhysics, _clamp_vec
+from repro.sim.airframe import QuadrotorAirframe
+from repro.sim.environment import WindModel
+from repro.sim.motors import MotorBank
+from repro.system import UavSystem
+from repro.telemetry import TrackMessage
+
+
+class ReferenceWindModel(WindModel):
+    """Allocating OU gust update (pre-optimisation body)."""
+
+    def step(self, dt: float) -> np.ndarray:
+        if self.gust_sigma_m_s > 0.0:
+            decay = dt / self.gust_tau_s
+            noise = self._rng.standard_normal(3)
+            self._gust += -self._gust * decay + self.gust_sigma_m_s * np.sqrt(2.0 * decay) * noise
+        return self.mean_wind_ned + self._gust
+
+
+class ReferenceMotorBank(MotorBank):
+    """Allocating motor-lag step (pre-optimisation body)."""
+
+    def step(self, commands: np.ndarray, dt: float) -> np.ndarray:
+        commands = np.clip(np.asarray(commands, dtype=float), 0.0, 1.0)
+        if commands.shape != (self.count,):
+            raise ValueError(f"expected {self.count} motor commands, got {commands.shape}")
+        alpha = clamp(dt / self.model.time_constant_s, 0.0, 1.0)
+        self._effective += alpha * (commands - self._effective)
+        return self.model.max_thrust_n * self._effective**2
+
+
+class ReferenceQuadrotorAirframe(QuadrotorAirframe):
+    """Allocating force/torque map (pre-optimisation body)."""
+
+    def forces_and_torques(self, thrusts_n, quaternion, velocity_ned, angular_rate_body, env):
+        p = self.params
+        total_thrust = float(np.sum(thrusts_n))
+
+        thrust_world = quat_rotate(quaternion, np.array([0.0, 0.0, -total_thrust]))
+
+        v_rel = velocity_ned - env.wind.current_wind_ned
+        speed = float(np.sqrt(v_rel @ v_rel))
+        drag = -(0.5 * env.air_density_kg_m3 * p.drag_area_m2 * speed + p.linear_drag_coeff) * v_rel
+
+        force_world = thrust_world + drag + p.mass_kg * env.gravity_ned
+
+        tau_x = float(-np.dot(self._positions[:, 1], thrusts_n))
+        tau_y = float(np.dot(self._positions[:, 0], thrusts_n))
+        tau_z = float(np.dot(self._spins, thrusts_n)) * p.motor.torque_ratio_m
+
+        w = angular_rate_body
+        damping = -p.angular_damping * w * np.abs(w) - p.angular_damping_linear * w
+        torque_body = np.array([tau_x, tau_y, tau_z]) + damping
+        return force_world, torque_body
+
+
+class ReferenceQuadrotorPhysics(QuadrotorPhysics):
+    """Allocating 6-DOF integration step (pre-optimisation body)."""
+
+    def step(self, motor_commands: np.ndarray, dt: float):
+        if dt <= 0.0:
+            raise ValueError("dt must be positive")
+        env = self.environment
+        env.wind.step(dt)
+
+        thrusts = self.airframe.motors.step(motor_commands, dt)
+        force_world, torque_body = self.airframe.forces_and_torques(
+            thrusts,
+            self.state.quaternion,
+            self.state.velocity_ned,
+            self.state.angular_rate_body,
+            env,
+        )
+
+        mass = self.airframe.params.mass_kg
+
+        if self.on_ground and force_world[2] > 0.0:
+            force_world = force_world.copy()
+            force_world[2] = 0.0
+
+        accel_world = force_world / mass
+
+        non_grav_world = accel_world - env.gravity_ned
+        self.specific_force_body = quat_rotate_inverse(self.state.quaternion, non_grav_world)
+
+        w = self.state.angular_rate_body
+        inertia = self.airframe.inertia
+        w_dot = self.airframe.inertia_inv @ (torque_body - np.cross(w, inertia @ w))
+
+        self.state.velocity_ned = _clamp_vec(
+            self.state.velocity_ned + accel_world * dt, _MAX_SPEED_M_S
+        )
+        self.state.angular_rate_body = _clamp_vec(w + w_dot * dt, _MAX_RATE_RAD_S)
+        self.state.position_ned = self.state.position_ned + self.state.velocity_ned * dt
+        self.state.quaternion = quat_integrate(
+            self.state.quaternion, self.state.angular_rate_body, dt
+        )
+
+        self._handle_ground(dt)
+        self.time_s += dt
+        return self.state
+
+
+class ReferenceImu(Imu):
+    """Four separate RNG draws per sample (pre-optimisation body)."""
+
+    def sample(self, time_s, specific_force_body, angular_rate_body, dt):
+        return ImuSample(
+            time_s=time_s,
+            accel=self._triad_sample(self.accelerometer, specific_force_body, dt),
+            gyro=self._triad_sample(self.gyroscope, angular_rate_body, dt),
+        )
+
+    @staticmethod
+    def _triad_sample(sensor, true_value, dt):
+        # Verbatim _TriadSensor.sample body, hoisted here so the batched
+        # production path on the sensor object cannot shadow it.
+        p = sensor.params
+        if p.bias_instability > 0.0:
+            sensor.bias = sensor.bias + sensor._rng.normal(
+                0.0, p.bias_instability * math.sqrt(dt), size=3
+            )
+        noisy = true_value + sensor.bias + sensor._rng.normal(0.0, p.noise_density, size=3)
+        return np.clip(noisy, -p.measurement_range, p.measurement_range)
+
+
+class ReferenceEkf(Ekf):
+    """Allocating EKF predict/update path (pre-optimisation bodies)."""
+
+    def predict(self, imu: ImuSample, dt: float) -> None:
+        if dt <= 0.0:
+            raise ValueError("dt must be positive")
+        p = self.params
+        omega = imu.gyro - self.gyro_bias
+        accel = imu.accel - self.accel_bias
+        self.rate_body = omega
+
+        if self._last_raw_gyro is not None and np.array_equal(imu.gyro, self._last_raw_gyro):
+            self._gyro_flatline_count += 1
+        else:
+            self._gyro_flatline_count = 0
+        self._last_raw_gyro = imu.gyro.copy()
+        gyro_noise = p.gyro_noise if self._gyro_flatline_count < 20 else 0.8
+
+        if self._last_raw_accel is not None and np.array_equal(imu.accel, self._last_raw_accel):
+            self._accel_flatline_count += 1
+        else:
+            self._accel_flatline_count = 0
+        self._last_raw_accel = imu.accel.copy()
+        if self._gyro_flatline_count >= 50 and self._accel_flatline_count >= 50:
+            self.imu_stale_latched = True
+
+        rot = quat_to_rotation_matrix(self.quaternion)
+        accel_world = rot @ accel + self._gravity_ned
+
+        self.position_ned = self.position_ned + self.velocity_ned * dt + 0.5 * accel_world * dt * dt
+        self.velocity_ned = self.velocity_ned + accel_world * dt
+        self.quaternion = quat_integrate(self.quaternion, omega, dt)
+
+        phi = np.eye(15)
+        phi[_TH, _TH] -= skew(omega) * dt
+        phi[_TH, _BG] = -np.eye(3) * dt
+        phi[_V, _TH] = -rot @ skew(accel) * dt
+        phi[_V, _BA] = -rot * dt
+        phi[_P, _V] = np.eye(3) * dt
+
+        self.covariance = phi @ self.covariance @ phi.T
+        diag = self.covariance.ravel()[::16]
+        diag[_TH] += (gyro_noise**2) * dt
+        diag[_V] += (p.accel_noise**2) * dt
+        diag[_BG] += (p.gyro_bias_walk**2) * dt
+        diag[_BA] += (p.accel_bias_walk**2) * dt
+        self.time_s = imu.time_s
+
+    def update_gps(self, fix) -> None:
+        if self.params.enable_fusion_reset:
+            if self.monitor.group_max_consecutive("gps_vel") >= self.RESET_REJECTION_COUNT:
+                self._reset_block(_V, fix.velocity_ned, 1.0, "gps_vel")
+            if self.monitor.group_max_consecutive("gps_pos") >= self.RESET_REJECTION_COUNT:
+                self._reset_block(_P, fix.position_ned, 4.0, "gps_pos")
+
+        p = self.params
+        pos_var = np.array(
+            [
+                fix.horizontal_accuracy_m**2,
+                fix.horizontal_accuracy_m**2,
+                fix.vertical_accuracy_m**2,
+            ]
+        )
+        innov_p = fix.position_ned - self.position_ned
+        self._vector_update(innov_p, _P, pos_var, p.gps_pos_gate, "gps_pos")
+
+        vel_var = np.full(3, 0.15**2)
+        innov_v = fix.velocity_ned - self.velocity_ned
+        self._vector_update(innov_v, _V, vel_var, p.gps_vel_gate, "gps_vel")
+
+    def update_gravity_tilt(self, accel_body, gyro_body, dt: float = 0.05) -> None:
+        from repro.mathutils import quat_from_axis_angle
+
+        g = self._gravity_ned[2]
+        norm = float(np.linalg.norm(accel_body))
+        quasi_static = abs(norm - g) <= 0.12 * g and float(np.linalg.norm(gyro_body)) <= 0.25
+        if not quasi_static:
+            return
+        rot = quat_to_rotation_matrix(self.quaternion)
+        expected = rot.T @ np.array([0.0, 0.0, -1.0])
+        measured = accel_body / norm
+        err = np.cross(measured, expected)
+        err[2] = 0.0
+        err_norm = float(np.linalg.norm(err))
+        self.monitor.record("grav", self.time_s, err_norm, True)
+        if err_norm < 1e-9:
+            return
+        angle = self.GRAVITY_AIDING_GAIN * dt * err_norm
+        dq = quat_from_axis_angle(err, min(angle, 0.3))
+        self.quaternion = quat_normalize(quat_multiply(self.quaternion, dq))
+
+    def update_baro(self, altitude_m: float) -> None:
+        innov = altitude_m - (-self.position_ned[2])
+        h = np.zeros(15)
+        h[8] = -1.0
+        self._scalar_update(innov, h, self.params.baro_noise_m**2, self.params.baro_gate, "baro")
+
+    def update_mag_yaw(self, yaw_meas_rad: float) -> None:
+        from repro.mathutils import quat_to_euler, wrap_angle
+
+        yaw_est = quat_to_euler(self.quaternion)[2]
+        innov = wrap_angle(yaw_meas_rad - yaw_est)
+        rot = quat_to_rotation_matrix(self.quaternion)
+        h = np.zeros(15)
+        h[_TH] = rot[2, :]
+        self._scalar_update(innov, h, self.params.mag_noise_rad**2, self.params.mag_gate, "mag")
+
+    def _vector_update(self, innovation, block, meas_var, gate, name) -> None:
+        start = block.start
+        for axis in range(3):
+            h = np.zeros(15)
+            h[start + axis] = 1.0
+            self._scalar_update(
+                float(innovation[axis]), h, float(meas_var[axis]), gate, f"{name}_{axis}"
+            )
+
+    def _scalar_update(self, innovation, h, meas_var, gate, name) -> None:
+        ph = self.covariance @ h
+        s = max(float(h @ ph) + meas_var, 1e-12)
+        test_ratio = (innovation * innovation) / (gate * gate * s)
+        accepted = test_ratio <= 1.0
+        self.monitor.record(name, self.time_s, test_ratio, accepted)
+        if not accepted:
+            return
+        k = ph / s
+        self._inject_error(k * innovation)
+        self.covariance = self.covariance - np.outer(k, ph)
+        self.covariance = 0.5 * (self.covariance + self.covariance.T)
+
+    def _inject_error(self, dx: np.ndarray) -> None:
+        from repro.mathutils import quat_from_axis_angle
+
+        p = self.params
+        dq = quat_from_axis_angle(dx[_TH], float(np.linalg.norm(dx[_TH])))
+        self.quaternion = quat_normalize(quat_multiply(self.quaternion, dq))
+        self.velocity_ned = self.velocity_ned + dx[_V]
+        self.position_ned = self.position_ned + dx[_P]
+        self.gyro_bias = np.clip(
+            self.gyro_bias + dx[_BG], -p.gyro_bias_limit, p.gyro_bias_limit
+        )
+        self.accel_bias = np.clip(
+            self.accel_bias + dx[_BA], -p.accel_bias_limit, p.accel_bias_limit
+        )
+
+
+class ReferencePid(Pid):
+    """Allocating PID update (pre-optimisation body)."""
+
+    def update(self, error: np.ndarray, measurement: np.ndarray, dt: float) -> np.ndarray:
+        p = self.params
+        error = np.asarray(error, dtype=float)
+        if dt <= 0.0:
+            raise ValueError(f"dt must be positive, got {dt}")
+
+        if p.ki > 0.0:
+            self._integral = np.clip(
+                self._integral + error * dt, -p.integral_limit, p.integral_limit
+            )
+
+        deriv = np.zeros(self.dim)
+        if p.kd > 0.0 and self._prev_measurement is not None:
+            raw = -(measurement - self._prev_measurement) / dt
+            alpha = min(1.0, 2.0 * np.pi * p.derivative_filter_hz * dt)
+            self._deriv_filtered += alpha * (raw - self._deriv_filtered)
+            deriv = self._deriv_filtered
+        self._prev_measurement = np.array(measurement, dtype=float, copy=True)
+
+        out = p.kp * error + p.ki * self._integral + p.kd * deriv
+        return np.clip(out, -p.output_limit, p.output_limit)
+
+
+class ReferencePositionController(PositionController):
+    """Allocating outer-loop controller (pre-optimisation bodies)."""
+
+    def velocity_setpoint(
+        self, position_sp_ned, position_ned, feedforward_ned=None, cruise_speed_m_s=None
+    ) -> np.ndarray:
+        p = self.params
+        vel_sp = p.pos_p * (position_sp_ned - position_ned)
+        if feedforward_ned is not None:
+            vel_sp = vel_sp + feedforward_ned
+        max_xy = cruise_speed_m_s if cruise_speed_m_s is not None else p.max_speed_xy_m_s
+        vel_sp[:2] = clamp_norm(vel_sp[:2], max_xy)
+        vel_sp[2] = clamp(float(vel_sp[2]), -p.max_speed_up_m_s, p.max_speed_down_m_s)
+        return vel_sp
+
+    def acceleration_setpoint(self, velocity_sp_ned, velocity_ned, dt) -> np.ndarray:
+        return self._vel_pid.update(velocity_sp_ned - velocity_ned, velocity_ned, dt)
+
+    def thrust_and_attitude(self, accel_sp_ned, yaw_sp_rad) -> tuple[float, np.ndarray]:
+        p = self.params
+        thrust_vec = accel_sp_ned - np.array([0.0, 0.0, self.gravity])
+
+        min_up = 0.2 * self.gravity
+        if thrust_vec[2] > -min_up:
+            thrust_vec[2] = -min_up
+
+        norm = float(np.linalg.norm(thrust_vec))
+        if norm < 1e-6:
+            thrust_vec = np.array([0.0, 0.0, -self.gravity])
+            norm = self.gravity
+        cos_tilt = -thrust_vec[2] / norm
+        tilt = math.acos(clamp(cos_tilt, -1.0, 1.0))
+        if tilt > p.max_tilt_rad:
+            vertical = -thrust_vec[2]
+            if vertical < 1e-6:
+                vertical = self.gravity * 0.5
+            max_horizontal = vertical * math.tan(p.max_tilt_rad)
+            thrust_vec[:2] = clamp_norm(thrust_vec[:2], max_horizontal)
+            norm = float(np.linalg.norm(thrust_vec))
+
+        body_z = -thrust_vec / norm
+
+        yaw_vec = np.array([math.cos(yaw_sp_rad), math.sin(yaw_sp_rad), 0.0])
+        body_y = np.cross(body_z, yaw_vec)
+        y_norm = float(np.linalg.norm(body_y))
+        if y_norm < 1e-6:
+            body_y = np.array([-math.sin(yaw_sp_rad), math.cos(yaw_sp_rad), 0.0])
+            y_norm = 1.0
+        body_y = body_y / y_norm
+        body_x = np.cross(body_y, body_z)
+        rot_sp = np.column_stack([body_x, body_y, body_z])
+        q_sp = quat_from_rotation_matrix(rot_sp)
+
+        collective = clamp(
+            self.mass_kg * norm / self.max_total_thrust_n, p.min_thrust, p.max_thrust
+        )
+        return collective, q_sp
+
+
+class ReferenceAttitudeController(AttitudeController):
+    """Allocating attitude P loop (pre-optimisation body)."""
+
+    def rate_setpoint(self, q_estimate, q_setpoint, confidence=1.0) -> np.ndarray:
+        if not 0.0 < confidence <= 1.0:
+            raise ValueError(f"confidence must be in (0, 1], got {confidence}")
+        p = self.params
+        q_err = quat_normalize(quat_multiply(quat_conjugate(q_estimate), q_setpoint))
+        if q_err[0] < 0.0:
+            q_err = -q_err
+
+        rate_sp = 2.0 * p.attitude_p * confidence * q_err[1:4]
+        rate_sp[2] *= p.yaw_weight
+
+        max_rate = p.max_rate_rad_s * confidence
+        max_yaw = p.max_yaw_rate_rad_s * confidence
+        rate_sp[0] = _att_clamp(rate_sp[0], max_rate)
+        rate_sp[1] = _att_clamp(rate_sp[1], max_rate)
+        rate_sp[2] = _att_clamp(rate_sp[2], max_yaw)
+        return rate_sp
+
+
+class ReferenceRateController(RateController):
+    """Allocating rate loop (pre-optimisation body)."""
+
+    def torque_command(self, rate_sp, gyro_rate, dt) -> np.ndarray:
+        rp_err = rate_sp[:2] - gyro_rate[:2]
+        rp_cmd = self._rp_pid.update(rp_err, gyro_rate[:2], dt)
+        yaw_err = np.array([rate_sp[2] - gyro_rate[2]])
+        yaw_cmd = self._yaw_pid.update(yaw_err, gyro_rate[2:3], dt)
+        return np.array([rp_cmd[0], rp_cmd[1], yaw_cmd[0]])
+
+
+class ReferenceMixer(Mixer):
+    """Allocating mixer (pre-optimisation body)."""
+
+    def mix(self, collective: float, torque_cmd: np.ndarray) -> np.ndarray:
+        g = self.gains
+        weights = np.array([g.roll_pitch, g.roll_pitch, g.yaw])
+        torque_part = self._SIGNS @ (np.clip(torque_cmd, -1.0, 1.0) * weights)
+
+        span = float(torque_part.max() - torque_part.min())
+        if span > 1.0:
+            torque_part = torque_part / span
+        fractions = collective + torque_part
+
+        overflow = fractions.max() - 1.0
+        if overflow > 0.0:
+            fractions -= overflow
+        underflow = -fractions.min()
+        if underflow > 0.0:
+            fractions += min(underflow, max(0.0, 1.0 - fractions.max()))
+        return np.sqrt(np.clip(fractions, 0.0, 1.0))
+
+
+class ReferenceNavigator(Navigator):
+    """Per-tick waypoint-array allocation and O(n) distance scans."""
+
+    def update(self, position_ned: np.ndarray) -> NavigatorOutput:
+        waypoints = self.plan.waypoints
+        speed = self.plan.drone.cruise_speed_m_s
+
+        if self._done:
+            target = waypoints[-1].array
+            return NavigatorOutput(target, np.zeros(3), self._yaw_sp, speed)
+
+        target_wp = waypoints[self._index]
+        target = target_wp.array
+        if self._index > 0:
+            prev = waypoints[self._index - 1].array
+        else:
+            prev = position_ned.copy()
+
+        leg = target - prev
+        leg_len = float(np.linalg.norm(leg))
+        to_target = target - position_ned
+        dist_to_target = float(np.linalg.norm(to_target))
+
+        overshot = leg_len > 1e-6 and float((position_ned - target) @ leg) > 0.0
+        if dist_to_target <= target_wp.acceptance_radius_m or overshot:
+            if self._index + 1 < len(waypoints):
+                self._index += 1
+                target_wp = waypoints[self._index]
+                prev = waypoints[self._index - 1].array
+                target = target_wp.array
+                leg = target - prev
+                leg_len = float(np.linalg.norm(leg))
+            else:
+                self._done = True
+                return NavigatorOutput(target, np.zeros(3), self._yaw_sp, speed)
+
+        if leg_len < 1e-6:
+            carrot = target
+            direction = np.zeros(3)
+        else:
+            direction = leg / leg_len
+            along = float((position_ned - prev) @ direction)
+            lookahead = max(2.0, speed * self.lookahead_s)
+            carrot_dist = min(leg_len, along + lookahead)
+            carrot = prev + direction * max(0.0, carrot_dist)
+
+        horizontal_sq = direction[0] ** 2 + direction[1] ** 2
+        if leg_len > 1e-6 and horizontal_sq > 0.25:
+            self._yaw_sp = math.atan2(direction[1], direction[0])
+
+        remaining = float(np.linalg.norm(target - position_ned)) + self._distance_after(
+            self._index
+        )
+        speed = min(speed, max(1.0, 0.6 * remaining))
+        velocity_ff = direction * speed
+        return NavigatorOutput(carrot, velocity_ff, self._yaw_sp, speed)
+
+    def _distance_after(self, index: int) -> float:
+        total = 0.0
+        pts = self.plan.waypoints
+        for a, b in zip(pts[index:], pts[index + 1 :]):
+            total += float(np.linalg.norm(b.array - a.array))
+        return total
+
+
+class ReferenceCommander(Commander):
+    """Per-tick dispatch-dict and setpoint allocation (pre-optimisation)."""
+
+    def update(self, time_s, position_est_ned, on_ground, failsafe_engaged, crashed):
+        from repro.flightstack.commander import MissionOutcome
+
+        if crashed and self.phase not in (FlightPhase.CRASHED, FlightPhase.LANDED):
+            already_failsafe = self.phase == FlightPhase.FAILSAFE_LAND
+            self.phase = FlightPhase.CRASHED
+            self.outcome = (
+                MissionOutcome.FAILSAFE if already_failsafe else MissionOutcome.CRASHED
+            )
+            self.end_time_s = time_s
+
+        if self.terminal:
+            return self._idle_output(position_est_ned)
+
+        if failsafe_engaged and self.phase in (
+            FlightPhase.TAKEOFF,
+            FlightPhase.MISSION,
+            FlightPhase.LANDING,
+        ):
+            self.phase = FlightPhase.FAILSAFE_LAND
+            self._failsafe_hold_xy = position_est_ned[:2].copy()
+
+        if time_s - (self.takeoff_time_s or 0.0) > self._timeout_s:
+            self.outcome = MissionOutcome.TIMEOUT
+            self.end_time_s = time_s
+            return self._idle_output(position_est_ned)
+
+        handler = {
+            FlightPhase.PREFLIGHT: self._run_preflight,
+            FlightPhase.TAKEOFF: self._run_takeoff,
+            FlightPhase.MISSION: self._run_mission,
+            FlightPhase.LANDING: self._run_landing,
+            FlightPhase.FAILSAFE_LAND: self._run_failsafe_land,
+            FlightPhase.LANDED: self._run_terminal,
+            FlightPhase.CRASHED: self._run_terminal,
+        }[self.phase]
+        return handler(time_s, position_est_ned, on_ground)
+
+    def _run_takeoff(self, time_s, position, on_ground):
+        home = self.plan.home_ned
+        target = np.array([home[0], home[1], -self.plan.cruise_altitude_m])
+        if abs(position[2] - target[2]) < self.params.takeoff_accept_m:
+            self.phase = FlightPhase.MISSION
+            return self._run_mission(time_s, position, on_ground)
+        ff = np.array([0.0, 0.0, -self.params.takeoff_speed_m_s])
+        return CommanderOutput(target, ff, self._yaw_hold, 2.0)
+
+    def _run_landing(self, time_s, position, on_ground):
+        from repro.flightstack.commander import MissionOutcome
+
+        land = self.plan.landing_ned
+        target = np.array([land[0], land[1], 0.5])
+        ff = np.array([0.0, 0.0, self.params.landing_speed_m_s])
+        if self._ground_dwell(time_s, on_ground):
+            self.phase = FlightPhase.LANDED
+            self.outcome = MissionOutcome.COMPLETED
+            self.end_time_s = time_s
+            return self._idle_output(position)
+        return CommanderOutput(target, ff, self._yaw_hold, 1.5)
+
+    def _run_failsafe_land(self, time_s, position, on_ground):
+        from repro.flightstack.commander import MissionOutcome
+
+        assert self._failsafe_hold_xy is not None
+        target = np.array([self._failsafe_hold_xy[0], self._failsafe_hold_xy[1], 0.5])
+        ff = np.array([0.0, 0.0, self.params.fs_descent_speed_m_s])
+        if self._ground_dwell(time_s, on_ground):
+            self.phase = FlightPhase.LANDED
+            self.outcome = MissionOutcome.FAILSAFE
+            self.end_time_s = time_s
+            return self._idle_output(position)
+        return CommanderOutput(target, ff, self._yaw_hold, 2.0)
+
+    def _idle_output(self, position: np.ndarray) -> CommanderOutput:
+        return CommanderOutput(
+            position_sp_ned=position.copy(),
+            velocity_ff_ned=np.zeros(3),
+            yaw_sp_rad=self._yaw_hold,
+            cruise_speed_m_s=0.0,
+            thrust_idle=True,
+        )
+
+
+class ReferenceUavSystem(UavSystem):
+    """The original per-tick orchestration (pre-optimisation body)."""
+
+    def step(self) -> None:
+        cfg = self.config
+        dt = cfg.physics_dt_s
+        t = self.physics.time_s
+        truth = self.physics.state
+
+        samples = self.imu_bank.sample(
+            t, self.physics.specific_force_body, truth.angular_rate_body, dt
+        )
+        selection = self.redundancy.select(
+            t, samples, dt, isolating=self.failsafe.state == FailsafeState.ISOLATING
+        )
+        imu_sample = selection.sample
+        if selection.switched:
+            self.ekf.reseed_after_imu_switch()
+            self.failsafe.report_isolation(t, IsolationOutcome.SWITCHED)
+        elif selection.exhausted:
+            self.failsafe.report_isolation(t, IsolationOutcome.EXHAUSTED)
+        self._last_gyro = imu_sample.gyro
+
+        self.ekf.predict(imu_sample, dt)
+        fix = self.gps.maybe_sample(t, truth.position_ned, truth.velocity_ned)
+        if fix is not None:
+            self.ekf.update_gps(fix)
+        alt = self.baro.maybe_sample(t, truth.altitude_m)
+        if alt is not None:
+            self.ekf.update_baro(alt)
+        yaw = self.mag.maybe_sample(t, truth.quaternion)
+        if yaw is not None:
+            self.ekf.update_mag_yaw(yaw)
+            self.ekf.update_gravity_tilt(imu_sample.accel, imu_sample.gyro)
+        elif self.redundancy.degraded:
+            self.ekf.update_gravity_tilt(imu_sample.accel, imu_sample.gyro, dt)
+
+        est = self.ekf.state
+        est_tilt = self._estimated_tilt()
+
+        health = EstimatorHealth.from_monitor(
+            self.ekf.monitor,
+            attitude_std_rad=self.ekf.attitude_std_rad,
+            imu_stale=self.ekf.imu_stale_latched,
+        )
+        airborne = not self.physics.on_ground and truth.altitude_m > 2.0
+        self.failsafe.update(
+            t,
+            imu_sample.gyro,
+            est_tilt,
+            health,
+            in_flight=self.commander.in_flight and airborne,
+        )
+        landing_expected = self.commander.phase in (
+            FlightPhase.LANDING,
+            FlightPhase.FAILSAFE_LAND,
+        )
+        self.crash_detector.assess_contact(self.physics.last_contact, landing_expected)
+        out = self.commander.update(
+            t,
+            est.position_ned,
+            on_ground=self.physics.on_ground,
+            failsafe_engaged=self.failsafe.engaged,
+            crashed=self.crash_detector.crashed,
+        )
+
+        if out.thrust_idle:
+            motors = np.zeros(4)
+        else:
+            vel_sp = self.position_controller.velocity_setpoint(
+                out.position_sp_ned,
+                est.position_ned,
+                feedforward_ned=out.velocity_ff_ned,
+                cruise_speed_m_s=out.cruise_speed_m_s or None,
+            )
+            accel_sp = self.position_controller.acceleration_setpoint(
+                vel_sp, est.velocity_ned, dt
+            )
+            collective, q_sp = self.position_controller.thrust_and_attitude(
+                accel_sp, out.yaw_sp_rad
+            )
+            confidence = (
+                self.ekf.attitude_confidence if cfg.confidence_scheduling else 1.0
+            )
+            rate_sp = self.attitude_controller.rate_setpoint(
+                est.quaternion, q_sp, confidence=confidence
+            )
+            torque = self.rate_controller.torque_command(rate_sp, imu_sample.gyro, dt)
+            motors = self.mixer.mix(collective, torque)
+
+        self.physics.step(motors, dt)
+
+        airspeed = float(np.linalg.norm(est.velocity_ned))
+        point = self.bubble_monitor.maybe_track(t, est.position_ned, airspeed)
+        if point is not None and self.broker is not None:
+            self.broker.publish(
+                f"track/{self.plan.mission_id}",
+                TrackMessage(
+                    drone_id=self.plan.mission_id,
+                    time_s=t,
+                    position_ned=tuple(est.position_ned),
+                    velocity_ned=tuple(est.velocity_ned),
+                    airspeed_m_s=airspeed,
+                ),
+            )
+        self.recorder.maybe_record(
+            t,
+            truth.position_ned,
+            est.position_ned,
+            truth.velocity_ned,
+            est.velocity_ned,
+            truth.tilt_rad,
+            self.commander.phase.value,
+            self.injector.is_active(t),
+        )
+
+
+def reference_twin(system: UavSystem) -> UavSystem:
+    """A deep-copied twin of ``system`` that runs the naive reference loop.
+
+    ``copy.deepcopy`` duplicates every piece of mutable state — including
+    the numpy ``Generator`` objects, whose bit-stream position is part of
+    the copied state — so the twin continues from *exactly* the same
+    stochastic future as the original. Re-assigning ``__class__`` then
+    swaps every hot method for its pre-optimisation body while the
+    copied state (and any optimisation work buffers, which the reference
+    methods simply ignore) stays in place.
+    """
+    twin = copy.deepcopy(system)
+    twin.__class__ = ReferenceUavSystem
+    twin.physics.__class__ = ReferenceQuadrotorPhysics
+    twin.physics.airframe.__class__ = ReferenceQuadrotorAirframe
+    twin.physics.airframe.motors.__class__ = ReferenceMotorBank
+    twin.physics.environment.wind.__class__ = ReferenceWindModel
+    for member in twin.imu_bank.members:
+        member.__class__ = ReferenceImu
+    twin.ekf.__class__ = ReferenceEkf
+    twin.position_controller.__class__ = ReferencePositionController
+    twin.position_controller._vel_pid.__class__ = ReferencePid
+    twin.attitude_controller.__class__ = ReferenceAttitudeController
+    twin.rate_controller.__class__ = ReferenceRateController
+    twin.rate_controller._rp_pid.__class__ = ReferencePid
+    twin.rate_controller._yaw_pid.__class__ = ReferencePid
+    twin.mixer.__class__ = ReferenceMixer
+    twin.commander.__class__ = ReferenceCommander
+    twin.commander.navigator.__class__ = ReferenceNavigator
+    # The optimised EKF tracks the flatline watchdog as unboxed scalars;
+    # the reference predict() reads the original array form. Materialise
+    # the arrays from the copied scalar state so the twin's watchdog
+    # compares against the same last-seen raw sample.
+    ekf = twin.ekf
+    ekf._last_raw_gyro = (
+        np.array([ekf._lg0, ekf._lg1, ekf._lg2]) if ekf._have_lg else None
+    )
+    ekf._last_raw_accel = (
+        np.array([ekf._la0, ekf._la1, ekf._la2]) if ekf._have_la else None
+    )
+    return twin

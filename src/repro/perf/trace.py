@@ -1,0 +1,120 @@
+"""Per-step trace fingerprints for bit-exactness pinning.
+
+A fingerprint is the raw IEEE-754 bytes of everything the paper's
+metrics depend on — truth state, EKF nominal state, motor lag state,
+and the bubble monitor tallies — folded into a running SHA-256. Two
+simulations produce the same final digest if and only if every one of
+those quantities matched *to the bit on every step*, which is the
+guarantee the hot-loop optimisation pass is held to.
+
+The golden traces in ``tests/data/`` were recorded from the
+pre-optimisation loop; ``tests/test_golden_step_trace.py`` replays
+them, so any numerical drift — not just campaign-level drift — fails
+tier-1.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+import numpy as np
+
+from repro.core.faults import FaultSpec, FaultTarget, FaultType
+from repro.missions import valencia_missions
+from repro.system import SystemConfig, UavSystem
+
+#: The two pinned runs: one gold, one with a violent whole-IMU fault
+#: window (random-in-range on both triads) that exercises injector,
+#: gated EKF updates, failsafe, and the desaturating mixer.
+GOLDEN_TRACE_SPECS: dict[str, FaultSpec | None] = {
+    "gold": None,
+    "imu_random": FaultSpec(
+        FaultType.RANDOM, FaultTarget.IMU, start_time_s=4.0, duration_s=3.0
+    ),
+}
+
+#: Steps per golden trace (12 simulated seconds at 100 Hz: takeoff,
+#: the fault window, and the post-fault recovery all land inside it).
+GOLDEN_TRACE_STEPS = 1200
+
+#: Checkpoint the running digest every this many steps so a mismatch
+#: localises to a 100-step window instead of "somewhere in the run".
+GOLDEN_TRACE_CHECKPOINT_EVERY = 100
+
+
+def build_trace_system(fault: FaultSpec | None = None, seed: int = 0) -> UavSystem:
+    """A deterministic armed vehicle, identical to the bench vehicle."""
+    plan = valencia_missions(scale=0.1)[3]
+    system = UavSystem(plan, config=SystemConfig(seed=seed), fault=fault)
+    system.commander.arm_and_takeoff(system.physics.time_s)
+    return system
+
+
+def step_fingerprint(system: UavSystem) -> bytes:
+    """Raw bytes of every metric-bearing quantity after one step."""
+    truth = system.physics.state
+    ekf = system.ekf
+    counts = system.bubble_monitor.counts
+    if system.bubble_monitor.history:
+        last = system.bubble_monitor.history[-1]
+        bubble = (last.deviation_m, last.inner_radius_m, last.outer_radius_m)
+    else:
+        bubble = (0.0, 0.0, 0.0)
+    tail = np.array(
+        [
+            float(counts.inner),
+            float(counts.outer),
+            float(counts.tracking_instances),
+            counts.max_deviation_m,
+            bubble[0],
+            bubble[1],
+            bubble[2],
+        ]
+    )
+    return b"".join(
+        (
+            truth.position_ned.tobytes(),
+            truth.velocity_ned.tobytes(),
+            truth.quaternion.tobytes(),
+            truth.angular_rate_body.tobytes(),
+            ekf.quaternion.tobytes(),
+            ekf.velocity_ned.tobytes(),
+            ekf.position_ned.tobytes(),
+            ekf.gyro_bias.tobytes(),
+            ekf.accel_bias.tobytes(),
+            system.physics.airframe.motors.effective_commands.tobytes(),
+            tail.tobytes(),
+        )
+    )
+
+
+def run_traced(
+    system: UavSystem,
+    n_steps: int = GOLDEN_TRACE_STEPS,
+    every: int = GOLDEN_TRACE_CHECKPOINT_EVERY,
+) -> dict[str, Any]:
+    """Step ``system`` and fold each step's fingerprint into SHA-256."""
+    if n_steps < 1 or every < 1:
+        raise ValueError("n_steps and every must be positive")
+    hasher = hashlib.sha256()
+    checkpoints: list[dict[str, Any]] = []
+    for i in range(n_steps):
+        system.step()
+        hasher.update(step_fingerprint(system))
+        if (i + 1) % every == 0:
+            checkpoints.append({"step": i + 1, "digest": hasher.hexdigest()})
+    return {
+        "n_steps": n_steps,
+        "every": every,
+        "checkpoints": checkpoints,
+        "final_digest": hasher.hexdigest(),
+    }
+
+
+def golden_traces() -> dict[str, dict[str, Any]]:
+    """Recompute the golden per-step traces for both pinned runs."""
+    return {
+        name: run_traced(build_trace_system(fault))
+        for name, fault in GOLDEN_TRACE_SPECS.items()
+    }

@@ -49,7 +49,7 @@ class SwitchEvent:
     to_member: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Selection:
     """What the manager decided this tick.
 

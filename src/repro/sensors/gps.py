@@ -26,7 +26,7 @@ class GpsParams:
             raise ValueError("rate_hz must be positive")
 
 
-@dataclass
+@dataclass(slots=True)
 class GpsSample:
     """One GNSS fix: NED position and velocity with quoted accuracies."""
 

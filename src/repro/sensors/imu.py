@@ -96,7 +96,7 @@ class ImuParams:
     )
 
 
-@dataclass
+@dataclass(slots=True)
 class ImuSample:
     """One IMU output sample.
 
@@ -118,18 +118,64 @@ class Imu:
     def __init__(self, params: ImuParams | None = None, seed: int = 0):
         self.params = params or ImuParams()
         rng = np.random.default_rng(seed)
+        self._rng = rng
         self.accelerometer = Accelerometer(self.params.accel, rng)
         self.gyroscope = Gyroscope(self.params.gyro, rng)
+        # One vectorized standard-normal draw per step replaces the four
+        # per-triad `rng.normal` calls. The Generator emits the same
+        # variate stream either way, and `sigma * z == normal(0, sigma)`
+        # bit-for-bit, so samples are unchanged (differential-tested).
+        self._accel_walk = self.params.accel.bias_instability > 0.0
+        self._gyro_walk = self.params.gyro.bias_instability > 0.0
+        n = 6 + (3 if self._accel_walk else 0) + (3 if self._gyro_walk else 0)
+        self._z = np.empty(n)
+        self._tmp = np.zeros(3)
+        # Output buffers, reused every tick: downstream consumers (voter,
+        # injector, EKF, controllers) all read-or-copy within the tick.
+        self._sample = ImuSample(0.0, np.zeros(3), np.zeros(3))
 
     def sample(
         self, time_s: float, specific_force_body: np.ndarray, angular_rate_body: np.ndarray, dt: float
     ) -> ImuSample:
-        """Sample both triads against ground truth."""
-        return ImuSample(
-            time_s=time_s,
-            accel=self.accelerometer.sample(specific_force_body, dt),
-            gyro=self.gyroscope.sample(angular_rate_body, dt),
-        )
+        """Sample both triads against ground truth.
+
+        Returns a reused :class:`ImuSample` whose arrays are overwritten
+        on the next call; copy it to keep it across ticks.
+        """
+        z = self._z
+        self._rng.standard_normal(out=z)
+        tmp = self._tmp
+        out = self._sample
+        out.time_s = time_s
+
+        i = 0
+        p = self.params.accel
+        bias = self.accelerometer.bias
+        if self._accel_walk:
+            np.multiply(z[0:3], p.bias_instability * math.sqrt(dt), out=tmp)
+            bias += tmp
+            i = 3
+        accel = out.accel
+        np.add(specific_force_body, bias, out=accel)
+        np.multiply(z[i : i + 3], p.noise_density, out=tmp)
+        accel += tmp
+        np.maximum(accel, -p.measurement_range, out=accel)
+        np.minimum(accel, p.measurement_range, out=accel)
+        i += 3
+
+        p = self.params.gyro
+        bias = self.gyroscope.bias
+        if self._gyro_walk:
+            np.multiply(z[i : i + 3], p.bias_instability * math.sqrt(dt), out=tmp)
+            bias += tmp
+            i += 3
+        gyro = out.gyro
+        np.add(angular_rate_body, bias, out=gyro)
+        np.multiply(z[i : i + 3], p.noise_density, out=tmp)
+        gyro += tmp
+        np.maximum(gyro, -p.measurement_range, out=gyro)
+        np.minimum(gyro, p.measurement_range, out=gyro)
+        return out
 
     @property
     def accel_range(self) -> float:

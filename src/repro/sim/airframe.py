@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.mathutils import quat_rotate
+from repro.mathutils import quat_rotate_into
 from repro.sim.environment import Environment
 from repro.sim.motors import MotorBank, MotorModel
 
@@ -86,6 +86,19 @@ class QuadrotorAirframe:
         arm = self.params.arm_length_m
         self._positions = np.array([(x * arm, y * arm) for x, y, _ in self._LAYOUT])
         self._spins = np.array([s for _, _, s in self._LAYOUT])
+        # Column views reused every tick (same strides as slicing fresh,
+        # so the BLAS dot products round identically).
+        self._lever_x = self._positions[:, 0]
+        self._lever_y = self._positions[:, 1]
+        # Hot-loop work buffers. `forces_and_torques` returns `_force`
+        # and `_torque` without copying; they are valid until the next
+        # call (the physics step consumes them immediately).
+        self._thrust_body = np.zeros(3)
+        self._thrust_world = np.zeros(3)
+        self._v_rel = np.zeros(3)
+        self._mg = np.zeros(3)
+        self._force = np.zeros(3)
+        self._torque = np.zeros(3)
 
     def forces_and_torques(
         self,
@@ -105,20 +118,38 @@ class QuadrotorAirframe:
         total_thrust = float(np.sum(thrusts_n))
 
         # Thrust acts along -z body (upward for a level vehicle).
-        thrust_world = quat_rotate(quaternion, np.array([0.0, 0.0, -total_thrust]))
+        tb = self._thrust_body
+        tb[2] = -total_thrust
+        quat_rotate_into(quaternion, tb, self._thrust_world)
 
-        v_rel = velocity_ned - env.wind.current_wind_ned
+        v_rel = self._v_rel
+        np.subtract(velocity_ned, env.wind.current_wind_ned, out=v_rel)
         speed = float(np.sqrt(v_rel @ v_rel))
-        drag = -(0.5 * env.air_density_kg_m3 * p.drag_area_m2 * speed + p.linear_drag_coeff) * v_rel
+        # drag = -(0.5 * rho * A * speed + c_lin) * v_rel, folded in place.
+        np.multiply(
+            v_rel,
+            -(0.5 * env.air_density_kg_m3 * p.drag_area_m2 * speed + p.linear_drag_coeff),
+            out=v_rel,
+        )
 
-        force_world = thrust_world + drag + p.mass_kg * env.gravity_ned
+        force = self._force
+        np.add(self._thrust_world, v_rel, out=force)
+        np.multiply(env.gravity_ned, p.mass_kg, out=self._mg)
+        np.add(force, self._mg, out=force)
 
         # Torque from thrust lever arms: r x F with F = (0, 0, -T).
-        tau_x = float(-np.dot(self._positions[:, 1], thrusts_n))
-        tau_y = float(np.dot(self._positions[:, 0], thrusts_n))
+        tau_x = float(-np.dot(self._lever_y, thrusts_n))
+        tau_y = float(np.dot(self._lever_x, thrusts_n))
         tau_z = float(np.dot(self._spins, thrusts_n)) * p.motor.torque_ratio_m
 
         w = angular_rate_body
-        damping = -p.angular_damping * w * np.abs(w) - p.angular_damping_linear * w
-        torque_body = np.array([tau_x, tau_y, tau_z]) + damping
-        return force_world, torque_body
+        w0 = w[0]
+        w1 = w[1]
+        w2 = w[2]
+        neg_ad = -p.angular_damping
+        adl = p.angular_damping_linear
+        torque = self._torque
+        torque[0] = tau_x + ((neg_ad * w0) * abs(w0) - adl * w0)
+        torque[1] = tau_y + ((neg_ad * w1) * abs(w1) - adl * w1)
+        torque[2] = tau_z + ((neg_ad * w2) * abs(w2) - adl * w2)
+        return force, torque

@@ -6,7 +6,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.mathutils import quat_integrate, quat_from_euler, quat_to_euler
+from repro.mathutils import (
+    quat_conjugate_into,
+    quat_from_euler,
+    quat_integrate_into,
+    quat_rotate_into,
+    quat_to_euler,
+)
 from repro.sim.airframe import QuadrotorAirframe
 from repro.sim.environment import Environment
 from repro.sim.state import RigidBodyState
@@ -17,7 +23,7 @@ _MAX_SPEED_M_S = 60.0
 _MAX_RATE_RAD_S = 60.0
 
 
-@dataclass
+@dataclass(slots=True)
 class GroundContact:
     """Record of the most recent ground-contact event."""
 
@@ -50,7 +56,17 @@ class QuadrotorPhysics:
         self.last_contact: GroundContact | None = None
         # True specific force (accelerometer ground truth): what an ideal
         # accelerometer strapped to the body would read, in body axes.
+        # Updated in place every step; copy before storing across steps.
         self.specific_force_body = np.array([0.0, 0.0, -self.environment.gravity_m_s2])
+        # Hot-loop work buffers (in-place forms are bit-identical to the
+        # allocating originals; see DESIGN.md section 11).
+        self._accel = np.zeros(3)
+        self._non_grav = np.zeros(3)
+        self._q_conj = np.zeros(4)
+        self._iw = np.zeros(3)
+        self._cross = np.zeros(3)
+        self._tau_net = np.zeros(3)
+        self._w_dot = np.zeros(3)
 
     def step(self, motor_commands: np.ndarray, dt: float) -> RigidBodyState:
         """Advance physics by ``dt`` with the given normalised motor commands."""
@@ -72,31 +88,52 @@ class QuadrotorPhysics:
 
         # Ground reaction: while resting on the plane, the normal force
         # cancels any net downward force, so the accelerometer correctly
-        # reads -g instead of free-fall zero.
+        # reads -g instead of free-fall zero. (`force_world` is the
+        # airframe's transient buffer, so it can be edited directly.)
         if self.on_ground and force_world[2] > 0.0:
-            force_world = force_world.copy()
             force_world[2] = 0.0
 
-        accel_world = force_world / mass
+        accel_world = self._accel
+        np.divide(force_world, mass, out=accel_world)
 
         # The accelerometer measures specific force: total non-gravitational
         # acceleration, expressed in body axes.
-        from repro.mathutils import quat_rotate_inverse
-
-        non_grav_world = accel_world - env.gravity_ned
-        self.specific_force_body = quat_rotate_inverse(self.state.quaternion, non_grav_world)
+        np.subtract(accel_world, env.gravity_ned, out=self._non_grav)
+        quat_conjugate_into(self.state.quaternion, self._q_conj)
+        quat_rotate_into(self._q_conj, self._non_grav, self.specific_force_body)
 
         # Rotational dynamics: I w_dot = tau - w x (I w)
         w = self.state.angular_rate_body
-        inertia = self.airframe.inertia
-        w_dot = self.airframe.inertia_inv @ (torque_body - np.cross(w, inertia @ w))
+        np.matmul(self.airframe.inertia, w, out=self._iw)
+        iw = self._iw
+        w0 = w[0]
+        w1 = w[1]
+        w2 = w[2]
+        self._cross[0] = w1 * iw[2] - w2 * iw[1]
+        self._cross[1] = w2 * iw[0] - w0 * iw[2]
+        self._cross[2] = w0 * iw[1] - w1 * iw[0]
+        np.subtract(torque_body, self._cross, out=self._tau_net)
+        np.matmul(self.airframe.inertia_inv, self._tau_net, out=self._w_dot)
+        w_dot = self._w_dot
 
-        # Semi-implicit Euler: velocities first, then poses.
-        self.state.velocity_ned = _clamp_vec(self.state.velocity_ned + accel_world * dt, _MAX_SPEED_M_S)
-        self.state.angular_rate_body = _clamp_vec(w + w_dot * dt, _MAX_RATE_RAD_S)
-        self.state.position_ned = self.state.position_ned + self.state.velocity_ned * dt
-        self.state.quaternion = quat_integrate(
-            self.state.quaternion, self.state.angular_rate_body, dt
+        # Semi-implicit Euler: velocities first, then poses. All state
+        # arrays are updated in place (bit-identical to the allocating
+        # `v + a * dt` form).
+        v = self.state.velocity_ned
+        v[0] = v[0] + accel_world[0] * dt
+        v[1] = v[1] + accel_world[1] * dt
+        v[2] = v[2] + accel_world[2] * dt
+        _clamp_vec_inplace(v, _MAX_SPEED_M_S)
+        w[0] = w[0] + w_dot[0] * dt
+        w[1] = w[1] + w_dot[1] * dt
+        w[2] = w[2] + w_dot[2] * dt
+        _clamp_vec_inplace(w, _MAX_RATE_RAD_S)
+        pos = self.state.position_ned
+        pos[0] = pos[0] + v[0] * dt
+        pos[1] = pos[1] + v[1] * dt
+        pos[2] = pos[2] + v[2] * dt
+        quat_integrate_into(
+            self.state.quaternion, w, dt, out=self.state.quaternion
         )
 
         self._handle_ground(dt)
@@ -137,3 +174,10 @@ def _clamp_vec(vec: np.ndarray, max_norm: float) -> np.ndarray:
     if norm_sq > max_norm * max_norm:
         return vec * (max_norm / np.sqrt(norm_sq))
     return vec
+
+
+def _clamp_vec_inplace(vec: np.ndarray, max_norm: float) -> None:
+    """In-place :func:`_clamp_vec` (same dot, same scale, same rounding)."""
+    norm_sq = float(vec @ vec)
+    if norm_sq > max_norm * max_norm:
+        np.multiply(vec, max_norm / np.sqrt(norm_sq), out=vec)

@@ -41,19 +41,39 @@ class WindModel:
         self.gust_tau_s = gust_tau_s
         self._rng = np.random.default_rng(seed)
         self._gust = np.zeros(3)
+        # Hot-loop work buffers (bit-identical in-place forms of the
+        # original expressions; see DESIGN.md section 11).
+        self._noise = np.zeros(3)
+        self._delta = np.zeros(3)
+        self._wind = np.zeros(3)
 
     def step(self, dt: float) -> np.ndarray:
-        """Advance the gust process and return the current wind (NED m/s)."""
+        """Advance the gust process and return the current wind (NED m/s).
+
+        The returned array is a reused buffer; copy it to keep it across
+        steps.
+        """
         if self.gust_sigma_m_s > 0.0:
             decay = dt / self.gust_tau_s
-            noise = self._rng.standard_normal(3)
-            self._gust += -self._gust * decay + self.gust_sigma_m_s * np.sqrt(2.0 * decay) * noise
-        return self.mean_wind_ned + self._gust
+            self._rng.standard_normal(out=self._noise)
+            # In-place form of
+            #   gust += -gust * decay + sigma * sqrt(2 * decay) * noise
+            # keeping the exact operation order of the allocating original.
+            np.multiply(self._gust, -decay, out=self._delta)
+            np.multiply(self._noise, self.gust_sigma_m_s * np.sqrt(2.0 * decay), out=self._noise)
+            np.add(self._delta, self._noise, out=self._delta)
+            self._gust += self._delta
+        np.add(self.mean_wind_ned, self._gust, out=self._wind)
+        return self._wind
 
     @property
     def current_wind_ned(self) -> np.ndarray:
-        """Wind vector from the most recent :meth:`step` (NED m/s)."""
-        return self.mean_wind_ned + self._gust
+        """Wind vector from the most recent :meth:`step` (NED m/s).
+
+        Returns a reused buffer; copy it to keep it across steps.
+        """
+        np.add(self.mean_wind_ned, self._gust, out=self._wind)
+        return self._wind
 
 
 @dataclass
@@ -64,7 +84,14 @@ class Environment:
     air_density_kg_m3: float = AIR_DENSITY_KG_M3
     wind: WindModel = field(default_factory=WindModel)
 
+    def __post_init__(self) -> None:
+        self._gravity_ned = np.array([0.0, 0.0, self.gravity_m_s2])
+
     @property
     def gravity_ned(self) -> np.ndarray:
-        """Gravity acceleration vector in NED (down positive)."""
-        return np.array([0.0, 0.0, self.gravity_m_s2])
+        """Gravity acceleration vector in NED (down positive).
+
+        Cached at construction (``gravity_m_s2`` is fixed for a run);
+        treat the returned array as read-only.
+        """
+        return self._gravity_ned

@@ -51,6 +51,11 @@ class MotorBank:
         self.model = model
         self.count = count
         self._effective = np.zeros(count)
+        # Hot-loop work buffers; `step` returns `self._thrust` without
+        # copying, so callers must consume it before the next step.
+        self._cmd = np.zeros(count)
+        self._delta = np.zeros(count)
+        self._thrust = np.zeros(count)
 
     def reset(self) -> None:
         """Return all motors to zero output (disarmed)."""
@@ -63,12 +68,21 @@ class MotorBank:
             commands: normalised motor setpoints, clamped to [0, 1].
             dt: integration step (seconds).
         """
-        commands = np.clip(np.asarray(commands, dtype=float), 0.0, 1.0)
+        commands = np.asarray(commands, dtype=float)
         if commands.shape != (self.count,):
             raise ValueError(f"expected {self.count} motor commands, got {commands.shape}")
+        np.maximum(commands, 0.0, out=self._cmd)
+        np.minimum(self._cmd, 1.0, out=self._cmd)
         alpha = clamp(dt / self.model.time_constant_s, 0.0, 1.0)
-        self._effective += alpha * (commands - self._effective)
-        return self.model.max_thrust_n * self._effective**2
+        # In-place form of `effective += alpha * (cmd - effective)` and
+        # `max_thrust * effective**2`, preserving the rounding of the
+        # allocating originals bit-for-bit.
+        np.subtract(self._cmd, self._effective, out=self._delta)
+        self._delta *= alpha
+        self._effective += self._delta
+        np.multiply(self._effective, self._effective, out=self._thrust)
+        self._thrust *= self.model.max_thrust_n
+        return self._thrust
 
     @property
     def effective_commands(self) -> np.ndarray:

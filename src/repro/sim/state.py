@@ -13,7 +13,7 @@ def _zeros3() -> np.ndarray:
     return np.zeros(3)
 
 
-@dataclass
+@dataclass(slots=True)
 class RigidBodyState:
     """Ground-truth kinematic state in the NED world frame.
 

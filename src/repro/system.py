@@ -177,6 +177,9 @@ class UavSystem:
         self.recorder = FlightRecorder(rate_hz=cfg.recorder_rate_hz)
         self.broker = broker
         self._last_gyro = np.zeros(3)
+        # Idle motor command, shared read-only (MotorBank clips into its
+        # own buffer).
+        self._idle_motors = np.zeros(4)
 
     @staticmethod
     def _initial_yaw(plan: MissionPlan) -> float:
@@ -231,7 +234,7 @@ class UavSystem:
             # gravity-tilt blend every tick instead of at the mag rate.
             self.ekf.update_gravity_tilt(imu_sample.accel, imu_sample.gyro, dt)
 
-        est = self.ekf.state
+        ekf = self.ekf
         est_tilt = self._estimated_tilt()
 
         # 3. Vehicle management.
@@ -258,7 +261,7 @@ class UavSystem:
         self.crash_detector.assess_contact(self.physics.last_contact, landing_expected)
         out = self.commander.update(
             t,
-            est.position_ned,
+            ekf.position_ned,
             on_ground=self.physics.on_ground,
             failsafe_engaged=self.failsafe.engaged,
             crashed=self.crash_detector.crashed,
@@ -266,16 +269,16 @@ class UavSystem:
 
         # 4. Control cascade.
         if out.thrust_idle:
-            motors = np.zeros(4)
+            motors = self._idle_motors
         else:
             vel_sp = self.position_controller.velocity_setpoint(
                 out.position_sp_ned,
-                est.position_ned,
+                ekf.position_ned,
                 feedforward_ned=out.velocity_ff_ned,
                 cruise_speed_m_s=out.cruise_speed_m_s or None,
             )
             accel_sp = self.position_controller.acceleration_setpoint(
-                vel_sp, est.velocity_ned, dt
+                vel_sp, ekf.velocity_ned, dt
             )
             collective, q_sp = self.position_controller.thrust_and_attitude(
                 accel_sp, out.yaw_sp_rad
@@ -284,7 +287,7 @@ class UavSystem:
                 self.ekf.attitude_confidence if cfg.confidence_scheduling else 1.0
             )
             rate_sp = self.attitude_controller.rate_setpoint(
-                est.quaternion, q_sp, confidence=confidence
+                ekf.quaternion, q_sp, confidence=confidence
             )
             torque = self.rate_controller.torque_command(rate_sp, imu_sample.gyro, dt)
             motors = self.mixer.mix(collective, torque)
@@ -292,30 +295,34 @@ class UavSystem:
         # 5. Physics.
         self.physics.step(motors, dt)
 
-        # 6. Surveillance and logging (reported = estimated state).
-        airspeed = float(np.linalg.norm(est.velocity_ned))
-        point = self.bubble_monitor.maybe_track(t, est.position_ned, airspeed)
-        if point is not None and self.broker is not None:
-            self.broker.publish(
-                f"track/{self.plan.mission_id}",
-                TrackMessage(
-                    drone_id=self.plan.mission_id,
-                    time_s=t,
-                    position_ned=tuple(est.position_ned),
-                    velocity_ned=tuple(est.velocity_ned),
-                    airspeed_m_s=airspeed,
-                ),
+        # 6. Surveillance and logging (reported = estimated state). The
+        # airspeed and true tilt are only computed on the ticks where the
+        # 1 Hz tracker / 5 Hz recorder actually consume them.
+        if self.bubble_monitor.due(t):
+            airspeed = float(np.linalg.norm(ekf.velocity_ned))
+            point = self.bubble_monitor.maybe_track(t, ekf.position_ned, airspeed)
+            if point is not None and self.broker is not None:
+                self.broker.publish(
+                    f"track/{self.plan.mission_id}",
+                    TrackMessage(
+                        drone_id=self.plan.mission_id,
+                        time_s=t,
+                        position_ned=tuple(ekf.position_ned),
+                        velocity_ned=tuple(ekf.velocity_ned),
+                        airspeed_m_s=airspeed,
+                    ),
+                )
+        if self.recorder.due(t):
+            self.recorder.maybe_record(
+                t,
+                truth.position_ned,
+                ekf.position_ned,
+                truth.velocity_ned,
+                ekf.velocity_ned,
+                truth.tilt_rad,
+                self.commander.phase.value,
+                self.injector.is_active(t),
             )
-        self.recorder.maybe_record(
-            t,
-            truth.position_ned,
-            est.position_ned,
-            truth.velocity_ned,
-            est.velocity_ned,
-            truth.tilt_rad,
-            self.commander.phase.value,
-            self.injector.is_active(t),
-        )
 
     def _estimated_tilt(self) -> float:
         """Tilt angle of the EKF attitude estimate."""

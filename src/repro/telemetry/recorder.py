@@ -15,7 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 
-@dataclass
+@dataclass(slots=True)
 class FlightSample:
     """One decimated log row."""
 
@@ -40,6 +40,14 @@ class FlightRecorder:
         self._next_time = 0.0
         self._estimated_distance_m = 0.0
         self._prev_est_position: np.ndarray | None = None
+
+    def due(self, time_s: float) -> bool:
+        """True when :meth:`maybe_record` would record at ``time_s``.
+
+        Lets the caller skip computing expensive row inputs (e.g. the
+        true tilt angle) on the ticks between samples.
+        """
+        return not (time_s + 1e-9 < self._next_time)
 
     def maybe_record(
         self,

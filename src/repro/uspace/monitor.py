@@ -30,7 +30,7 @@ class ViolationCounts:
     max_deviation_m: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class TrackingPoint:
     """One tracking instance, kept for figures and analysis."""
 
@@ -66,6 +66,14 @@ class BubbleMonitor:
         self.history: list[TrackingPoint] = []
         self._prev_position: np.ndarray | None = None
         self._next_track_time = 0.0
+
+    def due(self, time_s: float) -> bool:
+        """True when :meth:`maybe_track` would track at ``time_s``.
+
+        Lets the caller skip computing the airspeed on the ~99 of 100
+        ticks between tracking instances.
+        """
+        return not (time_s + 1e-9 < self._next_track_time)
 
     def maybe_track(
         self, time_s: float, position_ned: np.ndarray, airspeed_m_s: float

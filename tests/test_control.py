@@ -158,7 +158,8 @@ def test_attitude_rate_limits():
 def test_attitude_confidence_derates_gain():
     ctrl = AttitudeController()
     q_sp = quat_from_euler(0.2, 0.0, 0.0)
-    full = ctrl.rate_setpoint(quat_identity(), q_sp, confidence=1.0)
+    # rate_setpoint returns a reused work buffer; copy to compare calls.
+    full = ctrl.rate_setpoint(quat_identity(), q_sp, confidence=1.0).copy()
     derated = ctrl.rate_setpoint(quat_identity(), q_sp, confidence=0.5)
     assert abs(derated[0]) < abs(full[0])
 

@@ -1,0 +1,98 @@
+"""Differential oracle: optimised step vs the naive reference twin.
+
+The hot-loop performance pass is held to a zero-drift contract: the
+buffered, in-place step must produce *bit-identical* outputs to the
+allocating pre-optimisation implementation kept in
+:mod:`repro.perf.reference`. This suite runs both in lockstep — the
+optimised vehicle and its deep-copied reference twin see the same RNG
+bit-streams — across every fault type x fault target combination, and
+compares every metric-bearing signal with raw-byte equality after
+every single step. One ULP of drift anywhere fails tier-1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.faults import FaultSpec, FaultTarget, FaultType
+from repro.perf import build_trace_system, reference_twin
+from repro.system import UavSystem
+
+#: 1.2 simulated seconds at 100 Hz: spin-up, the fault window
+#: (0.4 s - 0.9 s), and post-fault recovery all land inside it.
+N_STEPS = 120
+
+#: Every signal the paper's metrics depend on, by name so a divergence
+#: report says *what* drifted, not just that something did.
+_SIGNALS = (
+    "truth_position",
+    "truth_velocity",
+    "truth_quaternion",
+    "truth_rate",
+    "ekf_position",
+    "ekf_velocity",
+    "ekf_quaternion",
+    "ekf_gyro_bias",
+    "ekf_accel_bias",
+    "motor_commands",
+)
+
+
+def _signals(system: UavSystem) -> dict[str, np.ndarray]:
+    truth = system.physics.state
+    ekf = system.ekf
+    return {
+        "truth_position": truth.position_ned,
+        "truth_velocity": truth.velocity_ned,
+        "truth_quaternion": truth.quaternion,
+        "truth_rate": truth.angular_rate_body,
+        "ekf_position": ekf.position_ned,
+        "ekf_velocity": ekf.velocity_ned,
+        "ekf_quaternion": ekf.quaternion,
+        "ekf_gyro_bias": ekf.gyro_bias,
+        "ekf_accel_bias": ekf.accel_bias,
+        "motor_commands": system.physics.airframe.motors.effective_commands,
+    }
+
+
+def _assert_lockstep(fault: FaultSpec | None, seed: int, n_steps: int = N_STEPS) -> None:
+    system = build_trace_system(fault, seed=seed)
+    twin = reference_twin(system)
+    for step in range(n_steps):
+        system.step()
+        twin.step()
+        fast = _signals(system)
+        slow = _signals(twin)
+        for name in _SIGNALS:
+            assert fast[name].tobytes() == slow[name].tobytes(), (
+                f"{name} diverged at step {step + 1}/{n_steps}:\n"
+                f"  optimised: {fast[name]!r}\n"
+                f"  reference: {slow[name]!r}"
+            )
+
+
+@pytest.mark.parametrize("target", list(FaultTarget), ids=lambda t: t.value)
+@pytest.mark.parametrize("fault_type", list(FaultType), ids=lambda f: f.value)
+def test_every_fault_combination_bit_identical(fault_type: FaultType, target: FaultTarget):
+    """All fault type x target combinations stay bit-identical per step."""
+    fault = FaultSpec(fault_type, target, start_time_s=0.4, duration_s=0.5, seed=7)
+    _assert_lockstep(fault, seed=3)
+
+
+def test_gold_run_bit_identical():
+    """The fault-free baseline stays bit-identical per step."""
+    _assert_lockstep(None, seed=0)
+
+
+def test_reference_twin_does_not_share_mutable_state():
+    """Stepping the twin must not advance the production system."""
+    system = build_trace_system(None, seed=1)
+    twin = reference_twin(system)
+    before = {name: arr.copy() for name, arr in _signals(system).items()}
+    for _ in range(10):
+        twin.step()
+    after = _signals(system)
+    for name in _SIGNALS:
+        assert after[name].tobytes() == before[name].tobytes(), name
+    assert twin.physics.time_s > system.physics.time_s

@@ -1,0 +1,39 @@
+"""Golden per-step traces: the strongest drift tripwire in tier-1.
+
+``tests/data/golden_step_traces.json`` pins the SHA-256 of the raw
+IEEE-754 bytes of every metric-bearing quantity on *every step* of one
+gold run and one violent whole-IMU fault run (recorded from the
+pre-optimisation loop). Unlike the campaign-level golden file, a single
+flipped mantissa bit on any step of either run fails here — and the
+per-100-step checkpoints localise the first divergent window.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.perf.trace import GOLDEN_TRACE_SPECS, golden_traces
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_step_traces.json"
+
+
+def test_golden_step_traces_bit_identical():
+    expected = json.loads(GOLDEN_PATH.read_text())
+    assert set(expected) == set(GOLDEN_TRACE_SPECS), (
+        "golden file runs do not match GOLDEN_TRACE_SPECS; re-record "
+        "tests/data/golden_step_traces.json"
+    )
+    actual = golden_traces()
+    for name, want in expected.items():
+        got = actual[name]
+        assert got["n_steps"] == want["n_steps"], name
+        assert got["every"] == want["every"], name
+        # Checkpoints first: a drift then reports the first bad
+        # 100-step window instead of only the final digest.
+        for got_cp, want_cp in zip(got["checkpoints"], want["checkpoints"], strict=True):
+            assert got_cp["digest"] == want_cp["digest"], (
+                f"run {name!r} diverged by step {got_cp['step']}: "
+                f"{got_cp['digest']} != {want_cp['digest']}"
+            )
+        assert got["final_digest"] == want["final_digest"], name

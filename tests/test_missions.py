@@ -135,8 +135,11 @@ def test_distance_to_polyline_degenerate_segment():
     assert distance_to_polyline(np.array([0.0, 1.0, 0.0]), poly) == pytest.approx(1.0)
 
 
-def test_waypoint_array_copy():
+def test_waypoint_array_cached():
+    # `array` is cached and shared (hot-loop contract): repeated access
+    # returns the same object and never re-reads position_ned.
     wp = Waypoint((1.0, 2.0, -3.0))
     arr = wp.array
-    arr[0] = 99.0
-    assert wp.array[0] == 1.0
+    assert wp.array is arr
+    assert tuple(arr) == (1.0, 2.0, -3.0)
+    assert wp.position_ned == (1.0, 2.0, -3.0)

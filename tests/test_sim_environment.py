@@ -20,7 +20,8 @@ def test_wind_zero_sigma_is_constant():
 
 def test_wind_gusts_are_bounded_and_stationary():
     wind = WindModel(gust_sigma_m_s=0.5, gust_tau_s=2.0, seed=42)
-    samples = np.array([wind.step(0.02) for _ in range(20000)])
+    # step() returns a reused buffer; copy each sample before stacking.
+    samples = np.array([wind.step(0.02).copy() for _ in range(20000)])
     # Stationary std close to sigma; mean close to zero.
     assert abs(samples.mean()) < 0.1
     std = samples.std()
