@@ -65,6 +65,11 @@ def main():
                         help="per-case wall-clock limit in seconds")
     parser.add_argument("--backoff", type=float, default=1.0,
                         help="base backoff sleep between retries (seconds)")
+    parser.add_argument("--obs", type=str, default=None, metavar="DIR",
+                        help="enable the observability plane: every case "
+                             "flies instrumented and non-completed runs "
+                             "drop a black box into DIR (inspect with "
+                             "'python -m repro.obs summarize/render')")
     args = parser.parse_args()
     if args.resume and not args.checkpoint:
         parser.error("--resume requires --checkpoint")
@@ -75,6 +80,7 @@ def main():
         durations_s=tuple(float(d) for d in args.durations.split(",")),
         workers=args.workers,
         base_seed=args.seed,
+        obs_dir=args.obs,
     )
     policy = RetryPolicy(
         max_attempts=max(1, args.retries),
@@ -125,6 +131,17 @@ def main():
     if campaign.harness_errors:
         print()
         print(harness_error_report(campaign))
+
+    if args.obs:
+        blackboxes = [r for r in campaign.results if r.blackbox_path]
+        print(f"\n{len(blackboxes)} black boxes collected in {args.obs}/ "
+              "(one per non-completed case):")
+        for r in blackboxes[:10]:
+            print(f"  exp {r.experiment_id:4d}  {r.fault_label:<22} "
+                  f"{r.outcome.value if r.outcome else 'harness_error':<9} "
+                  f"{r.blackbox_path}")
+        if len(blackboxes) > 10:
+            print(f"  ... and {len(blackboxes) - 10} more")
 
     if args.save:
         save_campaign(campaign, args.save)

@@ -41,12 +41,15 @@ from repro.core.io import CampaignJournal
 from repro.core.resilience import (
     NO_RETRY,
     CaseTimeoutError,
+    EtaEstimator,
     RetryPolicy,
     campaign_fingerprint,
     run_with_timeout,
 )
 from repro.core.results import CampaignResult, ExperimentResult, harness_error_result
 from repro.missions.valencia import valencia_missions
+from repro.obs.observer import Observer
+from repro.obs.registry import MetricsRegistry
 from repro.redundancy import RedundancyConfig
 from repro.system import MissionResult, SystemConfig, UavSystem
 
@@ -74,6 +77,13 @@ class CampaignConfig:
         mitigation: fly every case with the redundant IMU bank enabled
             (voting + switchover + degraded fallback).
         imu_redundancy: bank size when ``mitigation`` is on.
+        obs_dir: directory for per-case black-box dumps. When set, every
+            case flies with an :class:`~repro.obs.observer.Observer` and
+            non-completed runs leave a ``blackbox_exp<id>.json`` post
+            mortem there (the path rides on the result row). A plain
+            string so the config pickles to worker processes; excluded
+            from the campaign fingerprint because observability cannot
+            change results.
     """
 
     scale: float = 1.0
@@ -86,6 +96,7 @@ class CampaignConfig:
     fault_scope: FaultScope = FaultScope.ALL
     mitigation: bool = False
     imu_redundancy: int = 3
+    obs_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.scale <= 0.0:
@@ -129,6 +140,16 @@ def run_experiment(spec: ExperimentSpec, config: CampaignConfig) -> ExperimentRe
     """Execute a single experiment case and reduce it to its metrics."""
     plans = {p.mission_id: p for p in valencia_missions(scale=config.scale)}
     plan = plans[spec.mission_id]
+    obs: Observer | None = None
+    if config.obs_dir is not None:
+        # A private registry per case: cases may run in worker
+        # processes, so per-case metrics cannot meaningfully aggregate
+        # into the parent's registry anyway.
+        obs = Observer(
+            registry=MetricsRegistry(),
+            blackbox_dir=config.obs_dir,
+            blackbox_name=f"blackbox_exp{spec.experiment_id:04d}.json",
+        )
     system = UavSystem(
         plan,
         config=SystemConfig(
@@ -138,9 +159,34 @@ def run_experiment(spec: ExperimentSpec, config: CampaignConfig) -> ExperimentRe
             ),
         ),
         fault=spec.fault,
+        obs=obs,
     )
     mission_result = system.run()
     return _to_result(spec, mission_result, mitigated=config.mitigation)
+
+
+def _to_result(
+    spec: ExperimentSpec, mission: MissionResult, mitigated: bool = False
+) -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id=spec.experiment_id,
+        mission_id=spec.mission_id,
+        fault_label=spec.label,
+        fault_type=spec.fault.fault_type.value if spec.fault else None,
+        target=spec.fault.target.value if spec.fault else None,
+        injection_duration_s=spec.fault.duration_s if spec.fault else None,
+        outcome=mission.outcome,
+        flight_duration_s=mission.flight_duration_s,
+        distance_km=mission.distance_km,
+        inner_violations=mission.inner_violations,
+        outer_violations=mission.outer_violations,
+        max_deviation_m=mission.max_deviation_m,
+        fault_scope=spec.fault.scope.value if spec.fault else None,
+        mitigated=mitigated,
+        imu_switchovers=mission.imu_switchovers,
+        isolation_succeeded=mission.isolation_succeeded,
+        blackbox_path=mission.blackbox_path,
+    )
 
 
 @dataclass
@@ -154,7 +200,15 @@ class _PendingCase:
 
 
 class _Recorder:
-    """Collects finished cases: journal append, progress tick, stash."""
+    """Collects finished cases: journal append, progress tick, stash.
+
+    With an observer attached, every completed case also ticks the
+    ``campaign_cases_total`` counter and emits a ``case.done`` /
+    ``case.harness_error`` point event on the campaign trace (timed in
+    campaign-relative wall seconds). Without one, the progress ticker
+    still prints — plain text with the same ETA — so long campaigns
+    stay watchable with observability off.
+    """
 
     def __init__(
         self,
@@ -162,20 +216,53 @@ class _Recorder:
         progress: bool,
         total: int,
         already_done: int,
+        obs: Observer | None = None,
+        clock: Callable[[], float] | None = None,
     ) -> None:
         self.journal = journal
         self.progress = progress
         self.total = total
         self.count = already_done
         self.by_id: dict[int, ExperimentResult] = {}
+        self.obs = obs
+        self.clock = clock or (lambda: 0.0)
+        self.eta = EtaEstimator(total=total, already_done=already_done)
+        self._cases_total = (
+            obs.metrics.counter(
+                "campaign_cases_total",
+                "Campaign cases finished, by status.",
+                labels=("status",),
+            )
+            if obs is not None
+            else None
+        )
 
     def record(self, result: ExperimentResult) -> None:
         self.by_id[result.experiment_id] = result
         if self.journal is not None:
             self.journal.append(result)
         self.count += 1
+        self.eta.update(self.count)
+        status = "harness_error" if result.is_harness_error else "ok"
+        if self._cases_total is not None:
+            self._cases_total.labels(status=status).inc()
+        if self.obs is not None:
+            name = "case.harness_error" if result.is_harness_error else "case.done"
+            attrs = {
+                "experiment_id": result.experiment_id,
+                "attempts": result.attempts,
+            }
+            if result.is_harness_error:
+                attrs["error"] = result.error or ""
+            else:
+                attrs["outcome"] = result.outcome.value if result.outcome else ""
+            self.obs.trace.emit(name, self.clock(), **attrs)
         if self.progress and self.count % 10 == 0:
-            print(f"  ... {self.count}/{self.total} experiments done", flush=True)
+            print(
+                f"  ... {self.count}/{self.total} experiments done "
+                f"({self.eta.format()})",
+                flush=True,
+            )
 
 
 def run_campaign(
@@ -187,6 +274,7 @@ def run_campaign(
     checkpoint_path: str | None = None,
     resume: bool = False,
     runner: Runner | None = None,
+    obs: Observer | None = None,
 ) -> CampaignResult:
     """Run a whole experiment matrix, resiliently.
 
@@ -212,6 +300,13 @@ def run_campaign(
         runner: the per-case callable (default :func:`run_experiment`);
             injectable for harness tests. Must be picklable when
             ``config.workers > 1``.
+        obs: harness-level observer. The campaign runs inside a
+            ``campaign`` span (timestamps are campaign-relative wall
+            seconds); serial execution nests a ``case`` span per case,
+            parallel execution emits ``case.done`` point events instead
+            (spans from concurrent workers would interleave). Case
+            *black boxes* are controlled separately by
+            ``config.obs_dir``, which works across worker processes.
 
     Results are always returned in spec order regardless of worker
     count, retries, or resume — parallelism and harness faults cannot
@@ -259,7 +354,30 @@ def run_campaign(
     pending = deque(
         _PendingCase(spec) for spec in specs if spec.experiment_id not in done
     )
-    recorder = _Recorder(journal, progress, total=len(specs), already_done=len(done))
+    # Campaign-relative wall clock for harness spans (the vehicle's own
+    # spans use simulated time; the harness genuinely runs in wall time).
+    start_monotonic = time.monotonic()
+
+    def clock() -> float:
+        return time.monotonic() - start_monotonic
+
+    recorder = _Recorder(
+        journal,
+        progress,
+        total=len(specs),
+        already_done=len(done),
+        obs=obs,
+        clock=clock,
+    )
+    if obs is not None:
+        obs.trace.begin_span(
+            "campaign",
+            clock(),
+            total_cases=len(specs),
+            already_done=len(done),
+            workers=config.workers,
+            scale=config.scale,
+        )
 
     try:
         if config.workers == 1:
@@ -269,6 +387,8 @@ def run_campaign(
         if journal is not None:
             journal.finalize()
     finally:
+        if obs is not None:
+            obs.trace.end_all(clock())
         if journal is not None:
             journal.close()
 
@@ -289,11 +409,20 @@ def _execute_serial(
     recorder: _Recorder,
 ) -> None:
     """In-process execution; timeouts enforced via a watchdog thread."""
+    obs = recorder.obs
     while pending:
         case = pending.popleft()
         delay = case.ready_time - time.monotonic()
         if delay > 0:
             time.sleep(delay)
+        if obs is not None:
+            obs.trace.begin_span(
+                "case",
+                recorder.clock(),
+                experiment_id=case.spec.experiment_id,
+                label=case.spec.label,
+                attempt=case.attempt,
+            )
         try:
             result = run_with_timeout(
                 runner, (case.spec, config), policy.timeout_s
@@ -302,6 +431,9 @@ def _execute_serial(
             _retry_or_fail(case, exc, policy, pending, recorder, front=True)
         else:
             recorder.record(_stamp_attempts(result, case.attempt))
+        finally:
+            if obs is not None:
+                obs.trace.end_span(recorder.clock())
 
 
 def _execute_parallel(
@@ -462,6 +594,15 @@ def _retry_or_fail(
     suspect: bool = False,
 ) -> None:
     """Requeue a failed case with backoff, or record its harness error."""
+    if recorder.obs is not None:
+        recorder.obs.trace.emit(
+            "harness.case_failed",
+            recorder.clock(),
+            experiment_id=case.spec.experiment_id,
+            attempt=case.attempt,
+            will_retry=case.attempt < policy.max_attempts,
+            error=f"{type(exc).__name__}: {exc}",
+        )
     if case.attempt < policy.max_attempts:
         delay = policy.delay_s(case.attempt, key=case.spec.experiment_id)
         retried = _PendingCase(
@@ -496,26 +637,3 @@ def _kill_pool(pool: ProcessPoolExecutor) -> None:
 def quick_config(workers: int = 1, base_seed: int = 0) -> CampaignConfig:
     """A CI-sized campaign: same matrix shape, 1/5-scale geometry."""
     return CampaignConfig(scale=0.2, workers=workers, base_seed=base_seed)
-
-
-def _to_result(
-    spec: ExperimentSpec, mission: MissionResult, mitigated: bool = False
-) -> ExperimentResult:
-    return ExperimentResult(
-        experiment_id=spec.experiment_id,
-        mission_id=spec.mission_id,
-        fault_label=spec.label,
-        fault_type=spec.fault.fault_type.value if spec.fault else None,
-        target=spec.fault.target.value if spec.fault else None,
-        injection_duration_s=spec.fault.duration_s if spec.fault else None,
-        outcome=mission.outcome,
-        flight_duration_s=mission.flight_duration_s,
-        distance_km=mission.distance_km,
-        inner_violations=mission.inner_violations,
-        outer_violations=mission.outer_violations,
-        max_deviation_m=mission.max_deviation_m,
-        fault_scope=spec.fault.scope.value if spec.fault else None,
-        mitigated=mitigated,
-        imu_switchovers=mission.imu_switchovers,
-        isolation_succeeded=mission.isolation_succeeded,
-    )

@@ -8,8 +8,9 @@ re-analysable without re-running. Two formats live here:
   an interrupted save can never corrupt an existing results file.
   Schema v2 adds harness-error rows (``outcome: null`` plus ``error``
   and ``attempts``); v3 adds the redundancy axis (``fault_scope``,
-  ``mitigated``, ``imu_switchovers``, ``isolation_succeeded``); v1/v2
-  files remain loadable.
+  ``mitigated``, ``imu_switchovers``, ``isolation_succeeded``); v4 adds
+  the observability plane's ``blackbox_path``; older files remain
+  loadable.
 * the **JSONL checkpoint journal** (:class:`CampaignJournal`): one
   fsync'd line per completed case, written *while the campaign runs*,
   so a crash or kill loses at most the in-flight cases. The journal
@@ -32,8 +33,8 @@ from repro.core.results import (
 )
 from repro.flightstack.commander import MissionOutcome
 
-_SCHEMA_VERSION = 3
-_SUPPORTED_VERSIONS = (1, 2, 3)
+_SCHEMA_VERSION = 4
+_SUPPORTED_VERSIONS = (1, 2, 3, 4)
 
 _JOURNAL_SCHEMA_VERSION = 1
 
@@ -58,6 +59,7 @@ def _result_to_dict(r: ExperimentResult) -> dict[str, Any]:
         "mitigated": r.mitigated,
         "imu_switchovers": r.imu_switchovers,
         "isolation_succeeded": r.isolation_succeeded,
+        "blackbox_path": r.blackbox_path,
     }
 
 
@@ -82,6 +84,7 @@ def _result_from_dict(r: dict[str, Any]) -> ExperimentResult:
         mitigated=r.get("mitigated", False),
         imu_switchovers=r.get("imu_switchovers", 0),
         isolation_succeeded=r.get("isolation_succeeded"),
+        blackbox_path=r.get("blackbox_path"),
     )
 
 
@@ -124,7 +127,8 @@ def export_csv(campaign: CampaignResult, path: str | Path) -> None:
         "experiment_id,mission_id,fault_label,fault_type,target,"
         "injection_duration_s,outcome,flight_duration_s,distance_km,"
         "inner_violations,outer_violations,max_deviation_m,error,attempts,"
-        "fault_scope,mitigated,imu_switchovers,isolation_succeeded"
+        "fault_scope,mitigated,imu_switchovers,isolation_succeeded,"
+        "blackbox_path"
     )
     lines = [header]
     for r in campaign.results:
@@ -138,7 +142,8 @@ def export_csv(campaign: CampaignResult, path: str | Path) -> None:
             f"{outcome},{r.flight_duration_s:.3f},{r.distance_km:.4f},"
             f"{r.inner_violations},{r.outer_violations},{r.max_deviation_m:.3f},"
             f"{error},{r.attempts},{r.fault_scope or ''},"
-            f"{str(r.mitigated).lower()},{r.imu_switchovers},{isolation}"
+            f"{str(r.mitigated).lower()},{r.imu_switchovers},{isolation},"
+            f"{(r.blackbox_path or '').replace(',', ';')}"
         )
     atomic_write_text(Path(path), "\n".join(lines) + "\n")
 

@@ -17,6 +17,9 @@ the reusable pieces:
 * :func:`campaign_fingerprint` — a stable hash of everything that
   determines campaign *results* (and nothing that does not, e.g.
   ``workers``), used to guard checkpoint resume against config drift.
+* :class:`EtaEstimator` — completed-case-rate remaining-time estimate
+  for the progress ticker; the clock is injectable so tests stay
+  deterministic.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, TYPE_CHECKING
 
@@ -131,7 +135,10 @@ def campaign_fingerprint(
 
     Deliberately excludes ``workers`` (parallelism cannot change
     results) so a checkpoint written serially can be resumed with a
-    process pool and vice versa.
+    process pool and vice versa. ``obs_dir`` is excluded for the same
+    reason: observability is read-only on the simulation (the
+    bit-exactness tests enforce this), so a checkpoint written with
+    tracing off can be resumed with it on.
     """
     from repro.core.results import fault_spec_to_dict
 
@@ -166,6 +173,57 @@ def campaign_fingerprint(
         json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
     )
     return digest.hexdigest()
+
+
+class EtaEstimator:
+    """Remaining-time estimate from the completed-case rate.
+
+    Resume-aware: cases already done when the estimator starts are
+    excluded from the rate (they cost no wall clock this session), so a
+    resumed campaign's ETA reflects only the work actually remaining.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        already_done: int = 0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if total < 0 or already_done < 0:
+            raise ValueError("total and already_done must be non-negative")
+        self.total = total
+        self.done = already_done
+        self._initial_done = already_done
+        self._clock = clock
+        self._start = clock()
+
+    def update(self, done: int) -> None:
+        """Record the current completed-case count."""
+        self.done = done
+
+    def eta_s(self) -> float | None:
+        """Estimated seconds to completion; ``None`` until the first
+        case of this session finishes (no rate to extrapolate)."""
+        fresh = self.done - self._initial_done
+        if fresh <= 0:
+            return None
+        remaining = max(0, self.total - self.done)
+        elapsed = self._clock() - self._start
+        if elapsed <= 0.0:
+            return 0.0
+        return remaining * elapsed / fresh
+
+    def format(self) -> str:
+        """Compact ticker suffix, e.g. ``ETA 2m30s`` (or ``ETA --``)."""
+        eta = self.eta_s()
+        if eta is None:
+            return "ETA --"
+        seconds = int(round(eta))
+        if seconds >= 3600:
+            return f"ETA {seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+        if seconds >= 60:
+            return f"ETA {seconds // 60}m{seconds % 60:02d}s"
+        return f"ETA {seconds}s"
 
 
 def _unit_hash(key: int, attempt: int) -> float:

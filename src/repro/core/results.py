@@ -49,6 +49,9 @@ class ExperimentResult:
     imu_switchovers: int = 0
     #: Verdict of the last failsafe isolation episode (None: never ran).
     isolation_succeeded: bool | None = None
+    #: Black-box dump written for this case (None: obs off or the run
+    #: completed without incident).
+    blackbox_path: str | None = None
 
     @property
     def is_gold(self) -> bool:

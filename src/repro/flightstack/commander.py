@@ -11,6 +11,7 @@ import numpy as np
 from repro.flightstack.navigator import Navigator
 from repro.flightstack.params import FlightParams
 from repro.missions.plan import MissionPlan
+from repro.obs.trace import NULL_SINK, EventSink
 
 
 class FlightPhase(enum.Enum):
@@ -59,6 +60,8 @@ class Commander:
         self.plan = plan
         self.params = params or FlightParams()
         self.navigator = Navigator(plan)
+        #: Trace sink for phase spans; a no-op unless an observer is on.
+        self.obs: EventSink = NULL_SINK
         self.phase = FlightPhase.PREFLIGHT
         self.outcome: MissionOutcome | None = None
         self.takeoff_time_s: float | None = None
@@ -115,6 +118,7 @@ class Commander:
             raise RuntimeError(f"cannot take off from phase {self.phase}")
         self.phase = FlightPhase.TAKEOFF
         self.takeoff_time_s = time_s
+        self.obs.phase(time_s, FlightPhase.TAKEOFF.value)
 
     # ------------------------------------------------------------------
 
@@ -142,6 +146,9 @@ class Commander:
                 MissionOutcome.FAILSAFE if already_failsafe else MissionOutcome.CRASHED
             )
             self.end_time_s = time_s
+            self.obs.phase(
+                time_s, FlightPhase.CRASHED.value, outcome=self.outcome.value
+            )
 
         if self.terminal:
             return self._idle_output(position_est_ned)
@@ -152,6 +159,7 @@ class Commander:
             FlightPhase.LANDING,
         ):
             self.phase = FlightPhase.FAILSAFE_LAND
+            self.obs.phase(time_s, FlightPhase.FAILSAFE_LAND.value)
             self._failsafe_hold_xy = position_est_ned[:2].copy()
             self._failsafe_target = np.array(
                 [self._failsafe_hold_xy[0], self._failsafe_hold_xy[1], 0.5]
@@ -160,6 +168,7 @@ class Commander:
         if time_s - (self.takeoff_time_s or 0.0) > self._timeout_s:
             self.outcome = MissionOutcome.TIMEOUT
             self.end_time_s = time_s
+            self.obs.emit("mission.timeout", time_s, limit_s=self._timeout_s)
             return self._idle_output(position_est_ned)
 
         return self._handlers[self.phase](time_s, position_est_ned, on_ground)
@@ -179,6 +188,7 @@ class Commander:
         target = self._takeoff_target
         if abs(position[2] - target[2]) < self.params.takeoff_accept_m:
             self.phase = FlightPhase.MISSION
+            self.obs.phase(time_s, FlightPhase.MISSION.value)
             return self._run_mission(time_s, position, on_ground)
         return CommanderOutput(target, self._takeoff_ff, self._yaw_hold, 2.0)
 
@@ -189,6 +199,7 @@ class Commander:
         self._yaw_hold = nav.yaw_sp_rad
         if self.navigator.mission_done:
             self.phase = FlightPhase.LANDING
+            self.obs.phase(time_s, FlightPhase.LANDING.value)
             return self._run_landing(time_s, position, on_ground)
         return CommanderOutput(
             nav.position_sp_ned, nav.velocity_ff_ned, nav.yaw_sp_rad, nav.cruise_speed_m_s
@@ -201,6 +212,9 @@ class Commander:
             self.phase = FlightPhase.LANDED
             self.outcome = MissionOutcome.COMPLETED
             self.end_time_s = time_s
+            self.obs.phase(
+                time_s, FlightPhase.LANDED.value, outcome=self.outcome.value
+            )
             return self._idle_output(position)
         # Target sits slightly below ground to keep descending onto it.
         return CommanderOutput(self._landing_target, self._landing_ff, self._yaw_hold, 1.5)
@@ -213,6 +227,9 @@ class Commander:
             self.phase = FlightPhase.LANDED
             self.outcome = MissionOutcome.FAILSAFE
             self.end_time_s = time_s
+            self.obs.phase(
+                time_s, FlightPhase.LANDED.value, outcome=self.outcome.value
+            )
             return self._idle_output(position)
         return CommanderOutput(self._failsafe_target, self._fs_ff, self._yaw_hold, 2.0)
 

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.estimation.health import EstimatorHealth
 from repro.flightstack.params import FlightParams
+from repro.obs.trace import NULL_SINK, EventSink
 
 
 class FailsafeState(enum.Enum):
@@ -77,6 +78,8 @@ class FailsafeEngine:
 
     def __init__(self, params: FlightParams):
         self.params = params
+        #: Trace sink for state transitions; a no-op without an observer.
+        self.obs: EventSink = NULL_SINK
         self.state = FailsafeState.NOMINAL
         self.trigger = FailsafeTrigger.NONE
         self.engaged_time_s: float | None = None
@@ -115,6 +118,8 @@ class FailsafeEngine:
         """
         if self.state != FailsafeState.ISOLATING:
             return
+        if outcome is not self.isolation_outcome:
+            self.obs.emit("failsafe.isolation_report", time_s, outcome=outcome.value)
         self.isolation_outcome = outcome
         if outcome is IsolationOutcome.SWITCHED:
             self._isolation_started_at = time_s
@@ -145,6 +150,9 @@ class FailsafeEngine:
                     self._condition_clear_since = None
                     self.isolation_outcome = IsolationOutcome.NOT_ATTEMPTED
                     self.isolation_succeeded = None
+                    self.obs.emit(
+                        "failsafe.isolating", time_s, trigger=self.trigger.value
+                    )
             else:
                 self._condition_active_since = None
                 self.trigger = FailsafeTrigger.NONE
@@ -163,6 +171,11 @@ class FailsafeEngine:
                 self.isolation_succeeded = True
                 self._condition_active_since = None
                 self._isolation_started_at = None
+                self.obs.emit(
+                    "failsafe.recovered",
+                    time_s,
+                    isolation=self.isolation_outcome.value,
+                )
                 return
         else:
             self._condition_clear_since = None
@@ -173,6 +186,12 @@ class FailsafeEngine:
             self.state = FailsafeState.ENGAGED
             self.engaged_time_s = time_s
             self.isolation_succeeded = False
+            self.obs.emit(
+                "failsafe.engaged",
+                time_s,
+                trigger=self.trigger.value,
+                isolation=self.isolation_outcome.value,
+            )
 
     def _detect(
         self,

@@ -1,0 +1,225 @@
+"""``python -m repro.obs`` — inspect traces and black boxes.
+
+Three subcommands:
+
+* ``summarize <file>`` — print the span tree, point-event counts, and
+  (for a black box) the run metadata. Accepts a JSONL event log or a
+  black-box dump; black boxes embed their run's trace events, so one
+  artifact answers both "what happened" and "when".
+* ``diff <a> <b>`` — compare two traces: event-count deltas per name
+  and per-span duration deltas. The tool for "what changed between the
+  baseline crash and the mitigated rescue".
+* ``render <blackbox>`` — draw the recorded trajectory in the paper's
+  Figure 3-5 style: a top-down north/east plot plus an altitude strip,
+  with the fault-injection window marked.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter as TallyCounter
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.obs.blackbox import blackbox_column, load_blackbox
+from repro.obs.export import read_events_jsonl
+from repro.obs.trace import TraceEvent, build_span_tree, iter_spans, render_span_tree
+
+
+def _load_events(path: Path) -> tuple[list[TraceEvent], dict[str, Any] | None]:
+    """Events from a JSONL log or a black-box dump (plus its metadata)."""
+    if path.suffix == ".jsonl":
+        return read_events_jsonl(path), None
+    payload = load_blackbox(path)
+    events = [TraceEvent.from_dict(d) for d in payload.get("events", [])]
+    return events, payload["metadata"]
+
+
+# ---------------------------------------------------------------------------
+# summarize
+
+
+def cmd_summarize(args: argparse.Namespace) -> int:
+    path = Path(args.file)
+    events, metadata = _load_events(path)
+    if metadata:
+        print("run metadata:")
+        for key in sorted(metadata):
+            print(f"  {key}: {metadata[key]}")
+        print()
+    roots, orphans = build_span_tree(events)
+    if roots or orphans:
+        print("span tree:")
+        print(render_span_tree(roots, orphans))
+        print()
+    tally = TallyCounter(e.name for e in events if e.kind == "i")
+    if tally:
+        print("point events:")
+        for name, count in sorted(tally.items()):
+            print(f"  {count:5d}  {name}")
+    if not events:
+        print("(no trace events)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# diff
+
+
+def _span_durations(events: list[TraceEvent]) -> dict[str, float]:
+    """Total duration per span name (closed spans only)."""
+    roots, _ = build_span_tree(events)
+    durations: dict[str, float] = {}
+    for node in iter_spans(roots):
+        if node.duration_s is not None:
+            durations[node.name] = durations.get(node.name, 0.0) + node.duration_s
+    return durations
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    events_a, _ = _load_events(Path(args.a))
+    events_b, _ = _load_events(Path(args.b))
+    tally_a = TallyCounter(e.name for e in events_a if e.kind == "i")
+    tally_b = TallyCounter(e.name for e in events_b if e.kind == "i")
+    names = sorted(set(tally_a) | set(tally_b))
+    print(f"point events ({args.a} vs {args.b}):")
+    if not names:
+        print("  (none in either trace)")
+    for name in names:
+        a, b = tally_a.get(name, 0), tally_b.get(name, 0)
+        marker = "  " if a == b else ("+ " if b > a else "- ")
+        print(f"  {marker}{name}: {a} -> {b}")
+    dur_a = _span_durations(events_a)
+    dur_b = _span_durations(events_b)
+    span_names = sorted(set(dur_a) | set(dur_b))
+    if span_names:
+        print("span durations (s):")
+        for name in span_names:
+            a_s = dur_a.get(name)
+            b_s = dur_b.get(name)
+            a_txt = f"{a_s:.2f}" if a_s is not None else "-"
+            b_txt = f"{b_s:.2f}" if b_s is not None else "-"
+            delta = f" ({b_s - a_s:+.2f})" if a_s is not None and b_s is not None else ""
+            print(f"  {name}: {a_txt} -> {b_txt}{delta}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# render
+
+
+def _render_topdown(
+    north: np.ndarray,
+    east: np.ndarray,
+    fault_active: np.ndarray,
+    width: int,
+    height: int,
+) -> str:
+    """Figure 3-5 style top-down plot: flown ``*``, injected ``#``,
+    end ``X`` (same glyphs as :mod:`repro.core.figures`)."""
+    lo_n, hi_n = float(north.min()), float(north.max())
+    lo_e, hi_e = float(east.min()), float(east.max())
+    span_n = max(hi_n - lo_n, 1e-6)
+    span_e = max(hi_e - lo_e, 1e-6)
+    grid = [[" "] * width for _ in range(height)]
+    for n, e, faulted in zip(north, east, fault_active):
+        col = int((e - lo_e) / span_e * (width - 1))
+        row = int((1.0 - (n - lo_n) / span_n) * (height - 1))
+        grid[row][col] = "#" if faulted else "*"
+    col = int((east[-1] - lo_e) / span_e * (width - 1))
+    row = int((1.0 - (north[-1] - lo_n) / span_n) * (height - 1))
+    grid[row][col] = "X"
+    return "\n".join("".join(r) for r in grid)
+
+
+def _render_altitude(
+    times: np.ndarray,
+    altitude: np.ndarray,
+    fault_active: np.ndarray,
+    width: int,
+    height: int,
+) -> str:
+    """Altitude-vs-time strip chart with the injection window marked."""
+    lo_t, hi_t = float(times.min()), float(times.max())
+    lo_a, hi_a = float(altitude.min()), float(altitude.max())
+    span_t = max(hi_t - lo_t, 1e-6)
+    span_a = max(hi_a - lo_a, 1e-6)
+    grid = [[" "] * width for _ in range(height)]
+    for t, a, faulted in zip(times, altitude, fault_active):
+        col = int((t - lo_t) / span_t * (width - 1))
+        row = int((1.0 - (a - lo_a) / span_a) * (height - 1))
+        grid[row][col] = "#" if faulted else "*"
+    lines = ["".join(r) for r in grid]
+    lines.append(
+        f"t: {lo_t:.1f}s .. {hi_t:.1f}s   alt: {lo_a:.1f}m .. {hi_a:.1f}m"
+    )
+    return "\n".join(lines)
+
+
+def cmd_render(args: argparse.Namespace) -> int:
+    payload = load_blackbox(Path(args.file))
+    if payload["rows"].shape[0] == 0:
+        print("(black box is empty)")
+        return 1
+    times = blackbox_column(payload, "time_s")
+    north = blackbox_column(payload, "truth_pos_n")
+    east = blackbox_column(payload, "truth_pos_e")
+    down = blackbox_column(payload, "truth_pos_d")
+    fault_active = blackbox_column(payload, "fault_active") > 0.5
+    metadata = payload["metadata"]
+    header = ", ".join(f"{k}={metadata[k]}" for k in sorted(metadata))
+    if header:
+        print(header)
+    print(f"last {times[-1] - times[0]:.1f}s of flight "
+          f"({payload['rows'].shape[0]} steps recorded)")
+    print()
+    print("top-down (north up, east right; flown '*', injected '#', end 'X'):")
+    print(_render_topdown(north, east, fault_active, args.width, args.height))
+    print()
+    print("altitude (m above origin):")
+    print(_render_altitude(times, -down, fault_active, args.width, args.height // 2))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect repro.obs traces and black boxes.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sum = sub.add_parser("summarize", help="print span tree and event counts")
+    p_sum.add_argument("file", help="JSONL event log or black-box dump")
+    p_sum.set_defaults(func=cmd_summarize)
+
+    p_diff = sub.add_parser("diff", help="compare two traces")
+    p_diff.add_argument("a", help="baseline trace (JSONL or black box)")
+    p_diff.add_argument("b", help="comparison trace (JSONL or black box)")
+    p_diff.set_defaults(func=cmd_diff)
+
+    p_render = sub.add_parser(
+        "render", help="draw a black box as Figure 3-5 style ASCII plots"
+    )
+    p_render.add_argument("file", help="black-box dump")
+    p_render.add_argument("--width", type=int, default=72)
+    p_render.add_argument("--height", type=int, default=24)
+    p_render.set_defaults(func=cmd_render)
+
+    args = parser.parse_args(argv)
+    try:
+        result: int = args.func(args)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return result
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,196 @@
+"""Crash-proof flight data recorder: the last N seconds of every run.
+
+A :class:`BlackBox` keeps a preallocated ring buffer of per-step state
+— ground truth, EKF estimate, raw gyro, motor commands, commander
+phase, failsafe state, redundancy primary, and fault-window activity —
+so that when a run ends in a crash or failsafe the *lead-up* is still
+in memory, exactly like the FDR in a real aircraft. The buffer is
+written on every physics tick and costs no allocation per step: one
+row of one preallocated ``(capacity, WIDTH)`` float64 array.
+
+Categorical columns (phase, failsafe state) are stored as small codes
+assigned on first sight; the code tables ride along in the dump, so
+the recorder never needs to import the flight stack (and the format
+survives enum renames).
+
+Dumps go through :func:`repro.core.atomicio.atomic_write_text`: a kill
+mid-dump can never leave a torn artifact next to the campaign results.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.core.atomicio import atomic_write_text
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.system import UavSystem
+
+#: Dump format version (bump on column changes).
+BLACKBOX_SCHEMA = 1
+
+#: Column layout of one ring row. Order is the wire format: the dump
+#: writes ``columns`` alongside the data, so readers never hard-code
+#: indices.
+COLUMNS: tuple[str, ...] = (
+    "time_s",
+    "truth_pos_n", "truth_pos_e", "truth_pos_d",
+    "truth_vel_n", "truth_vel_e", "truth_vel_d",
+    "truth_quat_w", "truth_quat_x", "truth_quat_y", "truth_quat_z",
+    "truth_rate_x", "truth_rate_y", "truth_rate_z",
+    "est_pos_n", "est_pos_e", "est_pos_d",
+    "est_vel_n", "est_vel_e", "est_vel_d",
+    "est_quat_w", "est_quat_x", "est_quat_y", "est_quat_z",
+    "gyro_x", "gyro_y", "gyro_z",
+    "motor_0", "motor_1", "motor_2", "motor_3",
+    "attitude_std_rad",
+    "phase_code",
+    "failsafe_code",
+    "fault_active",
+    "primary_member",
+)
+
+_WIDTH = len(COLUMNS)
+_COL = {name: i for i, name in enumerate(COLUMNS)}
+
+
+class BlackBox:
+    """Preallocated ring buffer of per-step vehicle state."""
+
+    def __init__(self, seconds: float = 8.0, dt_s: float = 0.01) -> None:
+        if seconds <= 0.0 or dt_s <= 0.0:
+            raise ValueError("seconds and dt_s must be positive")
+        self.capacity = max(1, int(round(seconds / dt_s)))
+        self.seconds = seconds
+        self.dt_s = dt_s
+        self._data = np.zeros((self.capacity, _WIDTH))
+        self._idx = 0
+        self._count = 0
+        # Code tables for categorical columns, built as states appear.
+        self._phase_codes: dict[str, int] = {}
+        self._failsafe_codes: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return min(self._count, self.capacity)
+
+    @property
+    def total_recorded(self) -> int:
+        """Rows ever recorded (>= len() once the ring has wrapped)."""
+        return self._count
+
+    def record(self, system: "UavSystem", fault_active: bool) -> None:
+        """Write one ring row from the system's current state.
+
+        Strictly read-only on ``system`` (reprolint OBS001): the row is
+        a copy, so later simulation steps cannot retroactively change
+        recorded history. Runs every simulation step, so the code-table
+        lookups are inlined and mutation roots at obs-owned locals.
+        """
+        row = self._data[self._idx]
+        truth = system.physics.state
+        ekf = system.ekf
+        row[0] = system.physics.time_s
+        row[1:4] = truth.position_ned
+        row[4:7] = truth.velocity_ned
+        row[7:11] = truth.quaternion
+        row[11:14] = truth.angular_rate_body
+        row[14:17] = ekf.position_ned
+        row[17:20] = ekf.velocity_ned
+        row[20:24] = ekf.quaternion
+        row[24:27] = system._last_gyro
+        row[27:31] = system.physics.airframe.motors.effective_commands
+        row[31] = ekf.attitude_std_rad
+        phase_codes = self._phase_codes
+        phase = system.commander.phase.value
+        phase_code = phase_codes.get(phase)
+        if phase_code is None:
+            phase_code = phase_codes[phase] = len(phase_codes)
+        row[32] = phase_code
+        failsafe_codes = self._failsafe_codes
+        failsafe = system.failsafe.state.value
+        failsafe_code = failsafe_codes.get(failsafe)
+        if failsafe_code is None:
+            failsafe_code = failsafe_codes[failsafe] = len(failsafe_codes)
+        row[33] = failsafe_code
+        row[34] = 1.0 if fault_active else 0.0
+        row[35] = system.redundancy.primary
+        self._idx += 1
+        if self._idx == self.capacity:
+            self._idx = 0
+        self._count += 1
+
+    def rows(self) -> np.ndarray:
+        """The recorded rows in chronological order (oldest first)."""
+        if self._count < self.capacity:
+            return self._data[: self._count].copy()
+        return np.concatenate((self._data[self._idx:], self._data[: self._idx]))
+
+    def column(self, name: str) -> np.ndarray:
+        """One named column of :meth:`rows`."""
+        return self.rows()[:, _COL[name]]
+
+    # -- persistence ---------------------------------------------------
+
+    def to_payload(
+        self,
+        metadata: dict[str, Any] | None = None,
+        events: list[dict[str, Any]] | None = None,
+    ) -> dict[str, Any]:
+        """The dump dictionary (JSON-ready)."""
+        data = self.rows()
+        return {
+            "schema": BLACKBOX_SCHEMA,
+            "seconds": self.seconds,
+            "dt_s": self.dt_s,
+            "columns": list(COLUMNS),
+            "phase_codes": dict(self._phase_codes),
+            "failsafe_codes": dict(self._failsafe_codes),
+            "total_recorded": self._count,
+            "metadata": metadata or {},
+            "events": events or [],
+            "rows": [[float(v) for v in row] for row in data],
+        }
+
+    def dump(
+        self,
+        path: str | Path,
+        metadata: dict[str, Any] | None = None,
+        events: list[dict[str, Any]] | None = None,
+    ) -> str:
+        """Write the post-mortem artifact atomically; returns the path.
+
+        ``events`` is the run's trace-event list (as dicts), embedded
+        so a single artifact reconstructs both the continuous state and
+        the discrete transitions that led to the terminal outcome.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(
+            path, json.dumps(self.to_payload(metadata, events)) + "\n"
+        )
+        return str(path)
+
+
+def load_blackbox(path: str | Path) -> dict[str, Any]:
+    """Read a dump back; validates the schema tag and column table."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != BLACKBOX_SCHEMA:
+        raise ValueError(
+            f"unsupported black-box schema {payload.get('schema')!r} in {path}"
+        )
+    missing = {"columns", "rows", "phase_codes", "metadata"} - set(payload)
+    if missing:
+        raise ValueError(f"black-box file {path} is missing keys: {sorted(missing)}")
+    payload["rows"] = np.array(payload["rows"], dtype=float).reshape(
+        -1, len(payload["columns"])
+    )
+    return payload
+
+
+def blackbox_column(payload: dict[str, Any], name: str) -> np.ndarray:
+    """One named column from a loaded dump."""
+    return payload["rows"][:, payload["columns"].index(name)]

@@ -12,7 +12,13 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.perf.bench import check_regression, format_report, run_bench, write_report
+from repro.perf.bench import (
+    check_obs_overhead,
+    check_regression,
+    format_report,
+    run_bench,
+    write_report,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -47,6 +53,18 @@ def main(argv: list[str] | None = None) -> int:
         default=0.2,
         help="allowed fractional throughput drop vs baseline (default: %(default)s)",
     )
+    parser.add_argument(
+        "--check-obs-overhead",
+        action="store_true",
+        help="exit 1 when the obs-enabled rate is more than "
+        "--obs-tolerance below the obs-disabled rate of the same run",
+    )
+    parser.add_argument(
+        "--obs-tolerance",
+        type=float,
+        default=0.03,
+        help="allowed fractional obs-enabled overhead (default: %(default)s)",
+    )
     args = parser.parse_args(argv)
 
     report = run_bench(quick=args.quick)
@@ -56,12 +74,16 @@ def main(argv: list[str] | None = None) -> int:
         write_report(report, args.output)
         print(f"wrote {args.output}")
 
+    failed = False
     if args.check_against:
         ok, message = check_regression(report, args.check_against, args.tolerance)
         print(message)
-        if not ok:
-            return 1
-    return 0
+        failed = failed or not ok
+    if args.check_obs_overhead:
+        ok, message = check_obs_overhead(report, args.obs_tolerance)
+        print(message)
+        failed = failed or not ok
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -22,6 +22,8 @@ from typing import Any
 
 from repro.core.atomicio import atomic_write_text
 from repro.core.faults import FaultSpec, FaultTarget, FaultType
+from repro.obs.observer import Observer
+from repro.obs.registry import MetricsRegistry
 from repro.perf.reference import reference_twin
 from repro.perf.trace import build_trace_system
 from repro.system import UavSystem
@@ -49,11 +51,63 @@ def _steps_per_sec(system: UavSystem, n_steps: int, rounds: int = 5) -> float:
             system.step()
         elapsed = time.perf_counter() - t0
         rates.append(n_steps / max(elapsed, 1e-12))
-    rates.sort()
+    return _median(rates)
+
+
+def _median(rates: list[float]) -> float:
+    rates = sorted(rates)
     mid = len(rates) // 2
     if len(rates) % 2:
         return rates[mid]
     return 0.5 * (rates[mid - 1] + rates[mid])
+
+
+def _section_time(system: UavSystem, n_steps: int) -> float:
+    t0 = time.perf_counter()
+    for _ in range(n_steps):
+        system.step()
+    return max(time.perf_counter() - t0, 1e-12)
+
+
+def _paired_overhead(
+    disabled: UavSystem, enabled: UavSystem, n_steps: int, quartets: int = 24
+) -> tuple[float, float, float]:
+    """Overhead of ``enabled`` over ``disabled`` from interleaved
+    quartets; returns ``(disabled_rate, enabled_rate, overhead)``.
+
+    A few-percent instrumentation cost is far below the CPU frequency
+    and load drift between distant bench sections, so each quartet
+    times the pair back to back in ABBA order (alternating with BAAB so
+    neither system systematically owns the first, coldest slot): linear
+    drift inside a quartet cancels exactly, and the interquartile mean
+    over many short quartets discards scheduler bursts. Distant-section
+    comparison (e.g. vs the gold section of the same bench run) would
+    measure the machine, not the instrumentation.
+    """
+    overheads: list[float] = []
+    dis_total = ena_total = 0.0
+    for q in range(quartets):
+        first, second = (disabled, enabled) if q % 2 == 0 else (enabled, disabled)
+        t_f1 = _section_time(first, n_steps)
+        t_s1 = _section_time(second, n_steps)
+        t_s2 = _section_time(second, n_steps)
+        t_f2 = _section_time(first, n_steps)
+        if q % 2 == 0:
+            t_dis, t_ena = t_f1 + t_f2, t_s1 + t_s2
+        else:
+            t_dis, t_ena = t_s1 + t_s2, t_f1 + t_f2
+        dis_total += t_dis
+        ena_total += t_ena
+        overheads.append(t_ena / max(t_dis, 1e-12) - 1.0)
+    overheads.sort()
+    k = len(overheads) // 4
+    core = overheads[k : len(overheads) - k] or overheads
+    steps = 2 * quartets * n_steps
+    return (
+        steps / max(dis_total, 1e-12),
+        steps / max(ena_total, 1e-12),
+        sum(core) / len(core),
+    )
 
 
 def _subsystem_of(filename: str) -> str:
@@ -114,6 +168,20 @@ def run_bench(quick: bool = False) -> dict[str, Any]:
         faulted.step()
     fault_rate = _steps_per_sec(faulted, 100, rounds=3)
 
+    # Gold cruise with the full observability plane on (metrics +
+    # trace + black-box ring): the enabled-mode overhead the obs gate
+    # holds to <=3% of the disabled rate. Events are edge-triggered, so
+    # in cruise the recurring cost is one black-box row per step. The
+    # pair is timed in interleaved ABBA quartets (_paired_overhead).
+    obs_disabled = build_trace_system()
+    obs_enabled = build_trace_system(obs=Observer(registry=MetricsRegistry()))
+    for _ in range(warmup):
+        obs_disabled.step()
+        obs_enabled.step()
+    obs_disabled_rate, obs_rate, obs_overhead = _paired_overhead(
+        obs_disabled, obs_enabled, 60, quartets=24 if quick else 48
+    )
+
     # Reference twin from identical steady state: the before/after pair.
     baseline_system = build_trace_system()
     for _ in range(warmup):
@@ -134,6 +202,9 @@ def run_bench(quick: bool = False) -> dict[str, Any]:
         "steps_per_sec": round(gold_rate, 1),
         "realtime_factor": round(gold_rate * dt, 2),
         "steps_per_sec_under_fault": round(fault_rate, 1),
+        "steps_per_sec_obs_disabled": round(obs_disabled_rate, 1),
+        "steps_per_sec_obs_enabled": round(obs_rate, 1),
+        "obs_overhead_frac": round(max(0.0, obs_overhead), 4),
         "reference_steps_per_sec": round(ref_rate, 1),
         "speedup_vs_reference": round(gold_rate / max(ref_rate, 1e-12), 2),
         "subsystem_self_time_fractions": {
@@ -151,6 +222,8 @@ def format_report(report: dict[str, Any]) -> str:
         f"  steps/sec (gold cruise):   {report['steps_per_sec']:>10.1f}",
         f"  real-time factor:          {report['realtime_factor']:>10.2f}x",
         f"  steps/sec (IMU fault):     {report['steps_per_sec_under_fault']:>10.1f}",
+        f"  steps/sec (obs enabled):   {report['steps_per_sec_obs_enabled']:>10.1f}"
+        f"  ({report['obs_overhead_frac'] * 100:.1f}% overhead)",
         f"  steps/sec (reference):     {report['reference_steps_per_sec']:>10.1f}",
         f"  speedup vs reference:      {report['speedup_vs_reference']:>10.2f}x",
         "  self-time by subsystem:",
@@ -186,4 +259,30 @@ def check_regression(
     return True, (
         f"throughput OK: {current:.1f} steps/sec vs {baseline['steps_per_sec']:.1f} "
         f"baseline (floor {floor:.1f})"
+    )
+
+
+def check_obs_overhead(
+    report: dict[str, Any], tolerance: float = 0.03
+) -> tuple[bool, str]:
+    """Gate the enabled-observability cost against the disabled rate.
+
+    Both rates come from interleaved sections of the *same* bench run
+    (same machine, same load, alternating back-to-back), so the
+    comparison is self-normalising — unlike the absolute baseline gate,
+    it does not need a generous cross-machine tolerance.
+    """
+    overhead = report["obs_overhead_frac"]
+    enabled = report["steps_per_sec_obs_enabled"]
+    disabled = report.get("steps_per_sec_obs_disabled", report["steps_per_sec"])
+    if overhead > tolerance:
+        return False, (
+            f"observability overhead {overhead:.1%} exceeds the "
+            f"{tolerance:.0%} budget ({enabled:.1f} steps/sec enabled vs "
+            f"{disabled:.1f} disabled)"
+        )
+    return True, (
+        f"observability overhead OK: {overhead:.1%} "
+        f"({enabled:.1f} steps/sec enabled vs {disabled:.1f} disabled, "
+        f"budget {tolerance:.0%})"
     )

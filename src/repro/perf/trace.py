@@ -43,10 +43,16 @@ GOLDEN_TRACE_STEPS = 1200
 GOLDEN_TRACE_CHECKPOINT_EVERY = 100
 
 
-def build_trace_system(fault: FaultSpec | None = None, seed: int = 0) -> UavSystem:
-    """A deterministic armed vehicle, identical to the bench vehicle."""
+def build_trace_system(
+    fault: FaultSpec | None = None, seed: int = 0, obs: Any = None
+) -> UavSystem:
+    """A deterministic armed vehicle, identical to the bench vehicle.
+
+    ``obs`` (an :class:`repro.obs.Observer`) instruments the vehicle;
+    the fingerprints it produces must be bit-identical either way.
+    """
     plan = valencia_missions(scale=0.1)[3]
-    system = UavSystem(plan, config=SystemConfig(seed=seed), fault=fault)
+    system = UavSystem(plan, config=SystemConfig(seed=seed), fault=fault, obs=obs)
     system.commander.arm_and_takeoff(system.physics.time_s)
     return system
 

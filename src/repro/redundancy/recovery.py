@@ -19,6 +19,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.obs.trace import NULL_SINK, EventSink
 from repro.redundancy.voter import Voter, VoteReport, VoterParams
 from repro.sensors.imu import ImuSample
 
@@ -71,6 +72,8 @@ class RedundancyManager:
     def __init__(self, params: VoterParams | None, num_members: int, enabled: bool) -> None:
         self.enabled = enabled and num_members >= 2
         self.num_members = num_members
+        #: Trace sink for switchover events; a no-op without an observer.
+        self.obs: EventSink = NULL_SINK
         self.voter = Voter(params, num_members)
         self.primary = 0
         self.state = RecoveryState.NOMINAL
@@ -115,18 +118,28 @@ class RedundancyManager:
             if target is not None:
                 self.failed_members.add(self.primary)
                 self.events.append(SwitchEvent(time_s, self.primary, target))
+                self.obs.emit(
+                    "imu.switchover",
+                    time_s,
+                    from_member=self.primary,
+                    to_member=target,
+                )
                 self.primary = target
                 self.state = RecoveryState.SWITCHED
                 switched = True
             elif self.state is not RecoveryState.DEGRADED:
                 self.state = RecoveryState.DEGRADED
                 exhausted = True
+                self.obs.emit(
+                    "imu.exhausted", time_s, failed=len(self.failed_members) + 1
+                )
         elif self.degraded and not report.unhealthy[self.primary]:
             # The fault window ended and the primary's stream is clean
             # again (e.g. a transient ALL-scope fault): leave fallback.
             self.state = (
                 RecoveryState.SWITCHED if self.events else RecoveryState.NOMINAL
             )
+            self.obs.emit("imu.degraded_exit", time_s, state=self.state.value)
 
         sample = samples[self.primary]
         if self.degraded:

@@ -2,8 +2,8 @@
 
 A custom AST analyzer that knows this simulator's invariants —
 determinism (DET001–004), numeric robustness (NUM001–003), fault-model
-exhaustiveness and persistence (FM001–002), and the atomic-write
-contract (IO001). Run it with::
+exhaustiveness and persistence (FM001–002), the atomic-write
+contract (IO001), and the observability read-only contract (OBS001). Run it with::
 
     python -m repro.staticcheck src/repro [--format json]
 
@@ -36,6 +36,7 @@ from repro.staticcheck.rules_numerics import (
     NaNComparisonRule,
     UnguardedDivisionRule,
 )
+from repro.staticcheck.rules_obs import ObsReadOnlyRule
 
 #: Registered rule classes, in report order.
 ALL_RULES: tuple[type[Rule], ...] = (
@@ -49,6 +50,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     ExhaustiveDispatchRule,
     SpecRoundTripRule,
     RawWriteRule,
+    ObsReadOnlyRule,
 )
 
 

@@ -41,6 +41,7 @@ from repro.flightstack import (
     MissionOutcome,
 )
 from repro.missions.plan import MissionPlan
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.redundancy import ImuBank, RedundancyConfig, RedundancyManager
 from repro.sensors import Barometer, GpsModel, Magnetometer
 from repro.sim import (
@@ -98,6 +99,9 @@ class MissionResult:
     isolation_outcome: str = "not_attempted"
     isolation_succeeded: bool | None = None
     imu_switchovers: int = 0
+    #: Path of the black-box dump written by the observer when the run
+    #: did not complete (None when obs is off or the run completed).
+    blackbox_path: str | None = None
 
     @property
     def completed(self) -> bool:
@@ -113,6 +117,7 @@ class UavSystem:
         config: SystemConfig | None = None,
         fault: FaultSpec | None = None,
         broker: Broker | None = None,
+        obs: Observer | None = None,
     ):
         self.plan = plan
         self.config = config or SystemConfig()
@@ -174,7 +179,20 @@ class UavSystem:
         self.bubble_monitor = BubbleMonitor(
             plan, tracking_interval_s=cfg.tracking_interval_s, risk_factor=cfg.risk_factor
         )
-        self.recorder = FlightRecorder(rate_hz=cfg.recorder_rate_hz)
+        # Observability plane: NULL_OBSERVER's hooks and sinks are all
+        # no-ops, so an uninstrumented vehicle pays one empty call per
+        # step and zero branches. The commander/failsafe/redundancy
+        # modules emit into the observer's trace at their transitions;
+        # the flight recorder feeds its registry.
+        self.obs = obs if obs is not None else NULL_OBSERVER
+        self.commander.obs = self.obs.trace
+        self.failsafe.obs = self.obs.trace
+        self.redundancy.obs = self.obs.trace
+        if broker is not None:
+            self.obs.attach_broker(broker, plan.mission_id)
+        self.recorder = FlightRecorder(
+            rate_hz=cfg.recorder_rate_hz, registry=self.obs.metrics
+        )
         self.broker = broker
         self._last_gyro = np.zeros(3)
         # Idle motor command, shared read-only (MotorBank clips into its
@@ -323,6 +341,7 @@ class UavSystem:
                 self.commander.phase.value,
                 self.injector.is_active(t),
             )
+        self.obs.on_step(self)
 
     def _estimated_tilt(self) -> float:
         """Tilt angle of the EKF attitude estimate."""
@@ -334,6 +353,7 @@ class UavSystem:
 
     def run(self, max_time_s: float | None = None) -> MissionResult:
         """Fly the mission to a terminal verdict and compute the metrics."""
+        self.obs.on_run_start(self)
         self.commander.arm_and_takeoff(self.physics.time_s)
         params = self.config.flight_params
         hard_cap = max_time_s or max(
@@ -346,6 +366,7 @@ class UavSystem:
             self.commander.outcome = MissionOutcome.TIMEOUT
             self.commander.end_time_s = self.physics.time_s
 
+        blackbox_path = self.obs.on_run_end(self)
         takeoff = self.commander.takeoff_time_s or 0.0
         end = self.commander.end_time_s or self.physics.time_s
         counts = self.bubble_monitor.counts
@@ -367,4 +388,5 @@ class UavSystem:
             isolation_outcome=self.failsafe.isolation_outcome.value,
             isolation_succeeded=self.failsafe.isolation_succeeded,
             imu_switchovers=len(self.redundancy.events),
+            blackbox_path=blackbox_path,
         )

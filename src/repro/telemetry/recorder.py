@@ -14,6 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+
 
 @dataclass(slots=True)
 class FlightSample:
@@ -32,7 +34,9 @@ class FlightSample:
 class FlightRecorder:
     """Fixed-rate sampler of the running system."""
 
-    def __init__(self, rate_hz: float = 5.0):
+    def __init__(
+        self, rate_hz: float = 5.0, registry: MetricsRegistry | None = None
+    ):
         if rate_hz <= 0.0:
             raise ValueError("rate_hz must be positive")
         self.interval_s = 1.0 / rate_hz
@@ -40,6 +44,16 @@ class FlightRecorder:
         self._next_time = 0.0
         self._estimated_distance_m = 0.0
         self._prev_est_position: np.ndarray | None = None
+        # Metrics hook: with the (default) null registry both
+        # instruments are no-ops, so an unobserved recorder pays two
+        # empty calls per decimated row.
+        registry = registry if registry is not None else NULL_REGISTRY
+        self._distance_gauge = registry.gauge(
+            "flight_distance_m", "EKF-estimated distance travelled this run."
+        )
+        self._rows_total = registry.counter(
+            "flight_recorder_rows_total", "Decimated log rows recorded."
+        )
 
     def due(self, time_s: float) -> bool:
         """True when :meth:`maybe_record` would record at ``time_s``.
@@ -87,6 +101,8 @@ class FlightRecorder:
                 fault_active=fault_active,
             )
         )
+        self._distance_gauge.default.set(self._estimated_distance_m)
+        self._rows_total.default.inc()
 
     @property
     def estimated_distance_m(self) -> float:

@@ -29,6 +29,7 @@ from repro.staticcheck.rules_numerics import (
     NaNComparisonRule,
     UnguardedDivisionRule,
 )
+from repro.staticcheck.rules_obs import ObsReadOnlyRule
 
 
 def lint(root: Path, files: dict[str, str], rule_cls=None) -> RunReport:
@@ -595,6 +596,77 @@ def test_io001_silent_on_reads_and_in_atomic_modules(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# OBS001 — obs code must be read-only and RNG-free
+
+
+def test_obs001_fires_on_rng_in_obs_package(tmp_path):
+    report = lint(
+        tmp_path,
+        {
+            "obs/sampler.py": """\
+                import random
+                import numpy as np
+
+                def sample_rows(rows):
+                    rng = np.random.default_rng(0)
+                    return random.choice(rows), rng.integers(10)
+            """
+        },
+        ObsReadOnlyRule,
+    )
+    # default_rng construction, random.choice, and the rng.integers draw
+    # all count — but rng is a local, so only the first two resolve.
+    assert rule_ids(report) == ["OBS001", "OBS001"]
+
+
+def test_obs001_fires_on_parameter_mutation(tmp_path):
+    report = lint(
+        tmp_path,
+        {
+            "obs/hooks.py": """\
+                def on_step(self, system, fault_active):
+                    system.physics.time_s = 0.0
+                    system.counts["steps"] += 1
+                    system.history.append(fault_active)
+                    del system.ekf.bias
+            """
+        },
+        ObsReadOnlyRule,
+    )
+    assert rule_ids(report) == ["OBS001"] * 4
+
+
+def test_obs001_silent_on_self_state_and_outside_obs(tmp_path):
+    report = lint(
+        tmp_path,
+        {
+            # Observers own their rings and tables: self-mutation,
+            # local mutation, and plain reads are all fine.
+            "obs/ring.py": """\
+                def record(self, system):
+                    self._rows.append(system.physics.time_s)
+                    self._codes["phase"] = len(self._codes)
+                    copies = []
+                    copies.append(system.ekf.quaternion.copy())
+                    local = {}
+                    local["t"] = system.physics.time_s
+                    return copies
+            """,
+            # The rule is scoped to obs/ — the sim layer has its own
+            # rules (DET001/DET004) for randomness.
+            "sim/noise.py": """\
+                import random
+
+                def jitter(state):
+                    state.value = random.random()
+            """,
+        },
+        ObsReadOnlyRule,
+    )
+    assert report.clean
+
+
+# ---------------------------------------------------------------------------
 # Framework behaviour
 
 
@@ -626,7 +698,7 @@ def test_suppression_does_not_silence_other_rules(tmp_path):
     assert rule_ids(report) == ["NUM002"]
 
 
-def test_registry_covers_all_ten_rule_ids():
+def test_registry_covers_all_eleven_rule_ids():
     ids = [cls.rule_id for cls in ALL_RULES]
     assert ids == [
         "DET001",
@@ -639,6 +711,7 @@ def test_registry_covers_all_ten_rule_ids():
         "FM001",
         "FM002",
         "IO001",
+        "OBS001",
     ]
     for rule in all_rules():
         assert rule.summary and rule.fixit

@@ -161,3 +161,85 @@ def test_recorder_arrays_shape():
 def test_recorder_validation():
     with pytest.raises(ValueError):
         FlightRecorder(rate_hz=0.0)
+
+
+def test_recorder_feeds_metrics_registry():
+    from repro.obs.registry import MetricsRegistry
+
+    reg = MetricsRegistry()
+    rec = FlightRecorder(rate_hz=1.0, registry=reg)
+    for i in range(3):
+        pos = np.array([float(i), 0.0, 0.0])
+        rec.maybe_record(float(i), pos, pos, np.zeros(3), np.zeros(3), 0.0, "mission", False)
+    assert reg.value("flight_recorder_rows_total") == 3.0
+    assert reg.value("flight_distance_m") == pytest.approx(2.0)
+
+
+# ------------------------------------------------- obs event stream
+
+
+def event(drone_id=1, t=0.0, kind="imu.switchover"):
+    return FlightEvent(drone_id=drone_id, time_s=t, kind=kind)
+
+
+def test_subscribers_fire_in_subscription_order():
+    broker = Broker("test")
+    order = []
+    broker.subscribe("event/1", lambda topic, msg: order.append("exact-first"))
+    broker.subscribe("event/*", lambda topic, msg: order.append("wild-first"))
+    broker.subscribe("event/1", lambda topic, msg: order.append("exact-second"))
+    broker.subscribe("event/*", lambda topic, msg: order.append("wild-second"))
+    broker.publish("event/1", event())
+    # Exact matches deliver before wildcards; within each class,
+    # subscription order is preserved.
+    assert order == ["exact-first", "exact-second", "wild-first", "wild-second"]
+
+
+def test_event_burst_no_drops_and_in_order():
+    """A crash-window burst (every step emits) must arrive complete."""
+    core = CoreBroker()
+    edge = EdgeBroker("edge-0", upstream=core)
+    tracker = Tracker(core)
+    n = 5000
+    for i in range(n):
+        delivered = edge.publish("event/7", event(drone_id=7, t=i * 0.01))
+        assert delivered == 1  # the tracker, via the core broker
+    got = tracker.events[7]
+    assert len(got) == n
+    assert [e.time_s for e in got] == [i * 0.01 for i in range(n)]
+    assert core.published_count == n
+    assert not core.delivery_errors and not edge.delivery_errors
+
+
+def test_event_burst_survives_one_bad_subscriber():
+    broker = CoreBroker()
+    tracker = Tracker(broker)
+
+    def bad(topic, msg):
+        raise RuntimeError("slow disk")
+
+    broker.subscribe("event/*", bad)
+    for i in range(100):
+        broker.publish("event/1", event(t=float(i)))
+    assert len(tracker.events[1]) == 100  # tracker unaffected
+    assert len(broker.delivery_errors) == 100
+
+
+def test_observer_events_reach_tracker_via_broker():
+    """The obs plane's broker mirror: emit -> event/<id> -> Tracker."""
+    from repro.obs.observer import Observer
+    from repro.obs.registry import MetricsRegistry
+
+    broker = CoreBroker()
+    tracker = Tracker(broker)
+    obs = Observer(registry=MetricsRegistry())
+    obs.attach_broker(broker, drone_id=42)
+    obs.trace.emit("failsafe.engaged", 12.5, trigger="attitude_excursion")
+    obs.trace.emit("imu.switchover", 13.0, from_member=0, to_member=1)
+    got = tracker.events[42]
+    assert [(e.kind, e.time_s) for e in got] == [
+        ("failsafe.engaged", 12.5), ("imu.switchover", 13.0),
+    ]
+    assert got[0].data == {"trigger": "attitude_excursion"}
+    # The same emissions also land in the observer's metrics.
+    assert obs.metrics.value("obs_events_total", event="imu.switchover") == 1.0
